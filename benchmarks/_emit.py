@@ -1,0 +1,26 @@
+"""Table emission for benchmarks.
+
+Benchmarks print the rows/series the paper reports.  Output goes to
+the real stdout (bypassing pytest's capture) so that
+``pytest benchmarks/ --benchmark-only`` leaves the tables in the log.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+from repro.harness.tables import format_table
+
+
+def emit(text: str) -> None:
+    print(text, file=sys.__stdout__, flush=True)
+
+
+def emit_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> None:
+    emit("")
+    emit(format_table(headers, rows, title))

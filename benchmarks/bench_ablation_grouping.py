@@ -1,0 +1,39 @@
+"""A1 — ablation: grouping factor (records per message).
+
+Section 4.1's pivotal optimization is grouping log records into one
+message per force.  The sweep shows message rate and CPU cost falling
+with the grouping factor — the 2400 → 170 collapse the paper derives
+for ET1's natural factor of seven.
+"""
+
+from repro.analysis import CapacityConfig, analyze, grouping_sweep
+
+from ._emit import emit_table
+
+FACTORS = (1, 2, 3, 5, 7, 14)
+
+
+def test_grouping_sweep(benchmark):
+    reports = benchmark(grouping_sweep, FACTORS)
+    rows = [
+        (r.config.effective_grouping,
+         f"{r.packets_per_server_s:,.0f}",
+         f"{r.rpcs_per_server_s:,.0f}",
+         f"{r.comm_cpu_fraction * 100:.1f}%",
+         f"{r.network_bits_per_s / 1e6:.1f}")
+        for r in reports
+    ]
+    emit_table(
+        ["records/message", "packets/server/s", "RPCs/server/s",
+         "comm CPU", "net Mbit/s"],
+        rows,
+        title="Ablation A1 — grouping factor sweep (Section 4.1)",
+    )
+    by_factor = {r.config.effective_grouping: r for r in reports}
+    # factor 1 reproduces the 2400-messages strawman
+    assert abs(by_factor[1].packets_per_server_s - 2333) < 50
+    # factor 7 (ET1's one force per txn) reproduces ~170 RPCs
+    assert abs(by_factor[7].rpcs_per_server_s - 167) < 5
+    # CPU falls monotonically with grouping
+    fractions = [r.comm_cpu_fraction for r in reports]
+    assert fractions == sorted(fractions, reverse=True)

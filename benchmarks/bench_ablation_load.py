@@ -1,0 +1,34 @@
+"""A4 — ablation: load assignment strategies (Section 5.4).
+
+"If the only technique for detecting overloaded servers is … a short
+timeout, then clients might change servers too frequently resulting in
+very long interval lists."  The sticky client keeps one interval per
+epoch; a client that rotates its write set every transaction fragments
+its intervals across servers.
+"""
+
+from repro.harness import run_assignment_ablation
+
+from ._emit import emit_table
+
+
+def _run():
+    return run_assignment_ablation(clients=10, servers=4, duration_s=2.5)
+
+
+def test_assignment_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit_table(
+        ["strategy", "mean force (ms)", "p95 force (ms)",
+         "max interval-list length", "server switches"],
+        [
+            (r.strategy, f"{r.mean_force_ms:.2f}", f"{r.p95_force_ms:.2f}",
+             r.max_interval_list_len, r.server_switches)
+            for r in rows
+        ],
+        title="Ablation A4 — load assignment (10 clients, 4 servers)",
+    )
+    by_name = {r.strategy: r for r in rows}
+    assert by_name["sticky"].max_interval_list_len == 1
+    assert (by_name["rotate-often"].max_interval_list_len
+            > by_name["sticky"].max_interval_list_len)

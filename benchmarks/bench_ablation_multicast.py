@@ -1,0 +1,36 @@
+"""A7 — ablation: multicast (Section 4.1).
+
+"Fifty client nodes, each using two log servers, will generate around
+seven million total bits per second of network traffic.  With the use
+of multicast, this amount would be approximately halved."
+
+The same N=2 force stream is transmitted with per-server unicast and
+with one multicast per force; total bits and medium busy time halve.
+"""
+
+import pytest
+
+from repro.harness import run_multicast_ablation
+
+from ._emit import emit_table
+
+
+def _run():
+    return run_multicast_ablation(clients=20, copies=2, forces_per_client=50)
+
+
+def test_multicast_halves_traffic(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit_table(
+        ["delivery", "traffic (Mbit)", "medium busy (s)"],
+        [
+            ("unicast x N", f"{result.unicast_mbits:.2f}",
+             f"{result.unicast_medium_busy_s:.3f}"),
+            ("multicast", f"{result.multicast_mbits:.2f}",
+             f"{result.multicast_medium_busy_s:.3f}"),
+        ],
+        title="Ablation A7 — multicast vs unicast delivery of N=2 forces",
+    )
+    assert result.traffic_ratio == pytest.approx(0.5, abs=0.02)
+    assert (result.multicast_medium_busy_s
+            < 0.6 * result.unicast_medium_busy_s)

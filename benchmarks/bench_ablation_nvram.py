@@ -1,0 +1,33 @@
+"""A2 — ablation: the low-latency non-volatile buffer (Sections 4.1, 5.1).
+
+With NVRAM, a force completes when the records reach battery-backed
+memory; without it, every force waits out a disk write's rotational
+latency.  The paper's footnote rules the volatile alternative out
+entirely; the measured latency gap is the reason.
+"""
+
+from repro.harness import run_nvram_ablation
+
+from ._emit import emit_table
+
+
+def _run():
+    return run_nvram_ablation(transactions=250)
+
+
+def test_nvram_ablation(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit_table(
+        ["configuration", "force latency (ms)", "disk utilization"],
+        [
+            ("with NVRAM buffer (paper design)",
+             f"{result.with_nvram_force_ms:.2f}",
+             f"{result.with_nvram_disk_util * 100:.1f}%"),
+            ("without NVRAM (force = disk write)",
+             f"{result.without_nvram_force_ms:.2f}",
+             f"{result.without_nvram_disk_util * 100:.1f}%"),
+        ],
+        title="Ablation A2 — NVRAM buffering on/off (1 client, 2 servers)",
+    )
+    assert result.latency_ratio > 3.0
+    assert result.with_nvram_force_ms < 10.0

@@ -1,0 +1,34 @@
+"""A3 — ablation: log-record splitting and undo caching (Section 5.2).
+
+The same long-transaction mix runs with combined undo/redo records and
+with split records + a client undo cache.  Splitting saves log volume
+whenever transactions commit before their pages are cleaned, and makes
+aborts local (zero log-server reads).
+"""
+
+from repro.harness import run_splitting_ablation
+
+from ._emit import emit_table
+
+
+def _run():
+    return run_splitting_ablation(transactions=80)
+
+
+def test_splitting_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit_table(
+        ["mode", "bytes logged", "records", "undo records logged",
+         "abort log reads", "local aborts"],
+        [
+            (r.mode, f"{r.bytes_logged:,}", r.records_logged,
+             r.undo_records_logged, r.remote_abort_reads, r.local_aborts)
+            for r in rows
+        ],
+        title="Ablation A3 — record splitting & undo caching "
+              "(80 long transactions, 15% aborts)",
+    )
+    by_mode = {r.mode: r for r in rows}
+    assert by_mode["split"].bytes_logged < by_mode["combined"].bytes_logged
+    assert by_mode["split"].remote_abort_reads == 0
+    assert by_mode["combined"].remote_abort_reads > 0

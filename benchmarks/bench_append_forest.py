@@ -1,0 +1,65 @@
+"""E7 — Figures 4-2/4-3: append-forest structure and complexity.
+
+Verifies the 11-node example's shape, then measures the two
+complexity claims of Section 4.3: constant-time appends and
+O(log n) searches, as a sweep over forest sizes.
+"""
+
+import math
+
+from repro.storage import AppendForest
+
+from ._emit import emit, emit_table
+
+
+def _build(n):
+    forest = AppendForest()
+    for key in range(1, n + 1):
+        forest.append_key(key, key)
+    return forest
+
+
+def _hop_sweep():
+    rows = []
+    for n in (15, 63, 255, 1023, 4095, 16383):
+        forest = _build(n)
+        worst = mean = 0
+        samples = range(1, n + 1, max(1, n // 257))
+        total = 0
+        for key in samples:
+            forest.search(key)
+            worst = max(worst, forest.last_search_hops)
+            total += forest.last_search_hops
+        mean = total / len(list(samples))
+        bound = 2 * math.ceil(math.log2(n + 1)) + 1
+        rows.append((n, f"{mean:.1f}", worst, bound,
+                     len(forest.tree_heights())))
+        assert worst <= bound
+    return rows
+
+
+def test_append_forest_structure(benchmark):
+    forest = benchmark(_build, 11)
+    assert forest.tree_heights() == [2, 1, 0]
+    emit("")
+    emit("Figure 4-3 — eleven-node append forest: trees of 7, 3 and 1 "
+         f"nodes (heights {forest.tree_heights()})")
+
+
+def test_append_forest_search_cost(benchmark):
+    rows = benchmark.pedantic(_hop_sweep, rounds=1, iterations=1)
+    emit_table(
+        ["nodes", "mean hops", "worst hops", "2·log2(n)+1 bound", "trees"],
+        rows,
+        title="Section 4.3 — append-forest search cost is O(log n)",
+    )
+
+
+def test_append_throughput(benchmark):
+    """Appends are constant-time: one page write each."""
+    def append_10k():
+        forest = _build(10_000)
+        return forest.store.appends
+
+    appends = benchmark(append_10k)
+    assert appends == 10_000

@@ -1,0 +1,47 @@
+"""E6 — Figures 3-1, 3-2 and 3-3: the worked three-server example.
+
+Prints the three server tables after the partial write of record 10
+(Figure 3-2) and after the crash-recovery procedure using Servers 1
+and 2 (Figure 3-3), in the paper's LSN/Epoch/Present format, and
+asserts cell-for-cell equality with the figures.
+"""
+
+from repro.harness import run_paper_figure_states
+
+from ._emit import emit, emit_table
+
+FIGURE_3_3 = {
+    "Server 1": [
+        (1, 1, "yes"), (2, 1, "yes"), (3, 1, "yes"),
+        (3, 3, "yes"), (4, 3, "no"), (5, 3, "yes"),
+        (6, 3, "yes"), (7, 3, "yes"), (8, 3, "yes"), (9, 3, "yes"),
+        (9, 4, "yes"), (10, 4, "no"),
+    ],
+    "Server 2": [
+        (1, 1, "yes"), (2, 1, "yes"), (3, 1, "yes"),
+        (6, 3, "yes"), (7, 3, "yes"), (9, 4, "yes"), (10, 4, "no"),
+    ],
+    "Server 3": [
+        (3, 3, "yes"), (4, 3, "no"), (5, 3, "yes"),
+        (8, 3, "yes"), (9, 3, "yes"), (10, 3, "yes"),
+    ],
+}
+
+
+def test_paper_figure_states(benchmark):
+    states = benchmark(run_paper_figure_states)
+    for figure, tables in (("Figure 3-2 (record 10 partially written)",
+                            states.figure_3_2),
+                           ("Figure 3-3 (after crash recovery via "
+                            "Servers 1 and 2)", states.figure_3_3)):
+        for server_id in ("Server 1", "Server 2", "Server 3"):
+            emit_table(
+                ["LSN", "Epoch", "Present"],
+                tables[server_id],
+                title=f"{figure} — {server_id}",
+            )
+    emit("")
+    emit(f"replicated log contents: {states.replicated_log_contents} "
+         "(paper: records 1,2 epoch 1; 3 epoch 3; 5-9 epoch 3)")
+    assert states.figure_3_3 == FIGURE_3_3
+    assert states.replicated_log_contents == [1, 2, 3, 5, 6, 7, 8, 9]

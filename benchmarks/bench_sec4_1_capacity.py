@@ -1,0 +1,26 @@
+"""E3 — the Section 4.1 capacity analysis table.
+
+Every quantity the paper derives in prose, computed by the executable
+model with the paper's parameters (50 clients × 10 TPS ET1, six
+servers, N = 2, 1000/2000/2000-instruction costs, slow small-track
+disks), printed next to the paper's claimed value.
+"""
+
+from repro.analysis import analyze
+
+from ._emit import emit_table
+
+
+def test_capacity_analysis_table(benchmark):
+    report = benchmark(analyze)
+    emit_table(
+        ["quantity", "model", "paper"],
+        report.rows(),
+        title="Section 4.1 — log-server capacity analysis "
+              "(50 clients x 10 TPS ET1, 6 servers, N=2)",
+    )
+    assert abs(report.unbatched_msgs_per_server_s - 2400) < 150
+    assert abs(report.rpcs_per_server_s - 170) < 10
+    assert report.comm_cpu_fraction < 0.10
+    assert 0.40 < report.disk_utilization < 0.60
+    assert 0.9e10 < report.bytes_per_server_day < 1.1e10

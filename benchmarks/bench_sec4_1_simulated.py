@@ -1,0 +1,37 @@
+"""E4 — the Section 4.1 target load, measured in the full simulator.
+
+Fifty client nodes at ten ET1 transactions/second each, six log
+servers, dual-copy records, dual 10 Mbit/s networks: the complete
+stack (protocol, NVRAM, track-at-a-time disk stream) executes the
+load, and the measured per-server RPC rate, utilization figures, and
+network traffic are printed against the analytic claims.
+"""
+
+from repro.harness import TargetLoadConfig, run_target_load
+
+from ._emit import emit, emit_table
+
+
+def _run():
+    return run_target_load(TargetLoadConfig(duration_s=4.0))
+
+
+def test_target_load_simulation(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit_table(
+        ["quantity", "measured", "expected (scaled to achieved TPS)"],
+        result.rows(),
+        title="Section 4.1 (simulated) — 50 clients x 10 TPS, 6 servers, N=2",
+    )
+    emit(f"completed transactions : {result.completed_txns}")
+    emit(f"force latency p95      : {result.force_p95_ms:.2f} ms")
+    emit(f"per-network bandwidth  : "
+         f"{', '.join(f'{u*100:.1f}%' for u in result.per_network_utilization)}")
+    assert result.failed_drivers == 0
+    assert result.messages_shed == 0
+    assert result.achieved_tps > 350          # near the 500-TPS target
+    scale = result.achieved_tps / 500.0
+    assert abs(result.rpcs_per_server_s - 167 * scale) < 167 * scale * 0.2
+    assert 0.30 < result.server_disk_utilization < 0.65
+    assert result.server_cpu_utilization < 0.30
+    assert result.force_mean_ms < 15.0

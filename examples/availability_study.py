@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Availability study: choosing M and N for a deployment (Section 3.2).
+
+Answers the operator's question the paper's Figure 3-4 exists for:
+given per-server unavailability p, how many log servers (M) and copies
+(N) do I need?  Prints the closed-form trade-off table, validates a
+chosen configuration against the real algorithm by Monte-Carlo failure
+injection, and shows the single-mirrored-server baseline both designs
+beat.
+
+Run:  python examples/availability_study.py [p]
+"""
+
+import sys
+
+from repro.core.availability import (
+    availability_point,
+    generator_availability,
+    init_availability,
+    max_m_for_init_availability,
+    single_server_availability,
+)
+from repro.harness import run_availability_monte_carlo
+from repro.harness.tables import format_table
+
+
+def main(p: float = 0.05) -> None:
+    print(f"per-server unavailability p = {p}\n")
+
+    rows = []
+    for n in (2, 3):
+        for m in range(n, 9):
+            pt = availability_point(m, n, p)
+            rows.append((m, n, f"{pt.write:.6f}", f"{pt.init:.6f}",
+                         f"{pt.read:.6f}"))
+    print(format_table(
+        ["M", "N", "WriteLog", "client init", "ReadLog"],
+        rows, title="Figure 3-4 — the M/N trade-off"))
+
+    print(f"\nsingle mirrored-disk server: everything at "
+          f"{single_server_availability(p):.4f}")
+    best_m = max_m_for_init_availability(2, p, single_server_availability(p))
+    print(f"dual-copy logs beat that for client init up to M = {best_m}")
+    print(f"epoch generator with 3 representatives: "
+          f"{generator_availability(3, p):.6f} "
+          "(never the bottleneck, per the paper's footnote)")
+
+    # validate one sensible configuration against the implementation
+    m, n = 5, 2
+    print(f"\nvalidating M={m}, N={n} against the real algorithm "
+          "(1500 random outage trials)...")
+    mc = run_availability_monte_carlo(m, n, p, trials=1500, seed=42)
+    print(format_table(
+        ["operation", "measured", "closed form"],
+        [
+            ("WriteLog", f"{mc.write_available:.4f}",
+             f"{availability_point(m, n, p).write:.4f}"),
+            ("client init", f"{mc.init_available:.4f}",
+             f"{init_availability(m, n, p):.4f}"),
+            ("ReadLog", f"{mc.read_available:.4f}",
+             f"{availability_point(m, n, p).read:.4f}"),
+        ]))
+    print("\nrecommendation: N=2 with M=5-6 gives near-perfect write")
+    print("availability while keeping restart availability above the")
+    print("single-server baseline — the paper's own operating point.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

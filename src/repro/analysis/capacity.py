@@ -1,0 +1,205 @@
+"""The Section 4.1 capacity analysis, as an executable model.
+
+Every quantity the paper derives in prose is a field of
+:class:`CapacityReport`:
+
+* messages per server per second with per-record RPCs (**~2400**);
+* RPCs per server per second with grouping (**~170**);
+* total network load (**~7 Mbit/s**, roughly halved by multicast);
+* CPU fraction for communication (**<10 %**) and for logging
+  (**10–20 %**);
+* disk utilization (**~50 %** for slow disks with small tracks);
+* log bytes per server per day (**~10 GB**).
+
+The model is parameterized so the ablation benches can sweep grouping
+factors, disk speeds, and replication degrees; defaults reproduce the
+paper's target configuration exactly (50 clients × 10 TPS ET1, six
+servers, N = 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.packet import PACKET_HEADER_BYTES
+from ..storage.disk import SLOW_1987_DISK, DiskParams
+from .constants import (
+    DEFAULT_MIPS,
+    ET1_BYTES_PER_TXN,
+    ET1_FORCES_PER_TXN,
+    ET1_RECORDS_PER_TXN,
+    INSTRUCTIONS_PER_MESSAGE,
+    INSTRUCTIONS_PER_PACKET,
+    INSTRUCTIONS_PER_TRACK_WRITE,
+    TARGET_CLIENTS,
+    TARGET_COPIES,
+    TARGET_SERVERS,
+    TARGET_TPS_PER_CLIENT,
+)
+
+#: Message-level overhead per write message (headers + per-record tags).
+_MESSAGE_OVERHEAD_BYTES = 32
+_RECORD_TAG_BYTES = 16
+#: Acknowledgment (NewHighLSN) packet size.
+_ACK_BYTES = PACKET_HEADER_BYTES + 32
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityConfig:
+    """Inputs of the Section 4.1 analysis (defaults = the paper's)."""
+
+    clients: int = TARGET_CLIENTS
+    tps_per_client: float = TARGET_TPS_PER_CLIENT
+    records_per_txn: int = ET1_RECORDS_PER_TXN
+    bytes_per_txn: int = ET1_BYTES_PER_TXN
+    forces_per_txn: int = ET1_FORCES_PER_TXN
+    servers: int = TARGET_SERVERS
+    copies: int = TARGET_COPIES
+    mips: float = DEFAULT_MIPS
+    disk: DiskParams = SLOW_1987_DISK
+    #: records per message; the grouped interface sends one message per
+    #: force, i.e. records_per_txn records per message for ET1.
+    grouping_factor: int | None = None
+    multicast: bool = False
+
+    @property
+    def total_tps(self) -> float:
+        return self.clients * self.tps_per_client
+
+    @property
+    def effective_grouping(self) -> int:
+        if self.grouping_factor is not None:
+            return max(1, self.grouping_factor)
+        return max(1, self.records_per_txn // self.forces_per_txn)
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityReport:
+    """Outputs, one field per quantity the paper reports."""
+
+    config: CapacityConfig
+    # message economics
+    unbatched_msgs_per_server_s: float
+    rpcs_per_server_s: float
+    packets_per_server_s: float
+    # network
+    network_bits_per_s: float
+    network_bits_per_s_multicast: float
+    # CPU
+    comm_cpu_fraction: float
+    logging_cpu_fraction: float
+    # disk
+    track_writes_per_server_s: float
+    disk_utilization: float
+    force_latency_no_nvram_s: float
+    # volume
+    bytes_per_server_s: float
+    bytes_per_server_day: float
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        """(quantity, model value, paper's claim) rows for the bench."""
+        return [
+            ("msgs/server/s, per-record RPCs",
+             f"{self.unbatched_msgs_per_server_s:,.0f}", "~2400"),
+            ("RPCs/server/s, grouped",
+             f"{self.rpcs_per_server_s:,.0f}", "~170"),
+            ("network load (Mbit/s)",
+             f"{self.network_bits_per_s / 1e6:.1f}", "~7"),
+            ("network load w/ multicast (Mbit/s)",
+             f"{self.network_bits_per_s_multicast / 1e6:.1f}", "~3.5 (halved)"),
+            ("communication CPU (%)",
+             f"{self.comm_cpu_fraction * 100:.1f}", "<10"),
+            ("logging CPU (%)",
+             f"{self.logging_cpu_fraction * 100:.1f}", "10-20"),
+            ("disk utilization (%)",
+             f"{self.disk_utilization * 100:.1f}", "~50 (slow disks)"),
+            ("log volume (GB/server/day)",
+             f"{self.bytes_per_server_day / 1e9:.1f}", "~10"),
+        ]
+
+
+def analyze(config: CapacityConfig = CapacityConfig()) -> CapacityReport:
+    """Run the Section 4.1 derivation for ``config``."""
+    tps = config.total_tps
+    records_s = tps * config.records_per_txn          # records generated /s
+    copies_records_s = records_s * config.copies       # server-write ops /s
+
+    # --- message economics ----------------------------------------------
+    # Per-record RPCs: each record write is a request + a reply.
+    unbatched_msgs = copies_records_s * 2 / config.servers
+
+    # Grouped: one message per force per copy, records ride along.
+    grouping = config.effective_grouping
+    write_msgs_s = copies_records_s / grouping         # requests /s, all servers
+    rpcs_per_server = write_msgs_s / config.servers    # request/reply pairs
+    packets_per_server = rpcs_per_server * 2           # request + ack packets
+
+    # --- network load ------------------------------------------------------
+    bytes_per_record = config.bytes_per_txn / config.records_per_txn
+    message_bytes = (
+        PACKET_HEADER_BYTES + _MESSAGE_OVERHEAD_BYTES
+        + grouping * (bytes_per_record + _RECORD_TAG_BYTES)
+    )
+    data_bits = write_msgs_s * message_bytes * 8
+    ack_bits = write_msgs_s * _ACK_BYTES * 8
+    network_bits = data_bits + ack_bits
+    # Multicast sends each record group once instead of N times.
+    multicast_bits = data_bits / config.copies + ack_bits
+
+    # --- CPU ------------------------------------------------------------------
+    cpu_capacity = config.mips * 1e6
+    comm_instr = packets_per_server * INSTRUCTIONS_PER_PACKET
+    comm_fraction = comm_instr / cpu_capacity
+
+    bytes_per_server_s = (
+        tps * config.bytes_per_txn * config.copies / config.servers
+    )
+    track_bytes = config.disk.track_bytes
+    track_writes_s = bytes_per_server_s / track_bytes
+    logging_instr = (
+        rpcs_per_server * INSTRUCTIONS_PER_MESSAGE
+        + track_writes_s * INSTRUCTIONS_PER_TRACK_WRITE
+    )
+    logging_fraction = logging_instr / cpu_capacity
+
+    # --- disk --------------------------------------------------------------------
+    disk_utilization = track_writes_s * config.disk.sequential_track_write_s()
+    force_latency = config.disk.forced_record_write_s(
+        int(bytes_per_record * grouping)
+    )
+
+    return CapacityReport(
+        config=config,
+        unbatched_msgs_per_server_s=unbatched_msgs,
+        rpcs_per_server_s=rpcs_per_server,
+        packets_per_server_s=packets_per_server,
+        network_bits_per_s=network_bits,
+        network_bits_per_s_multicast=multicast_bits,
+        comm_cpu_fraction=comm_fraction,
+        logging_cpu_fraction=logging_fraction,
+        track_writes_per_server_s=track_writes_s,
+        disk_utilization=disk_utilization,
+        force_latency_no_nvram_s=force_latency,
+        bytes_per_server_s=bytes_per_server_s,
+        bytes_per_server_day=bytes_per_server_s * 86400,
+    )
+
+
+def grouping_sweep(
+    factors: tuple[int, ...] = (1, 2, 3, 5, 7, 14),
+    base: CapacityConfig = CapacityConfig(),
+) -> list[CapacityReport]:
+    """The grouping ablation: capacity vs records-per-message."""
+    reports = []
+    for factor in factors:
+        cfg = CapacityConfig(
+            clients=base.clients, tps_per_client=base.tps_per_client,
+            records_per_txn=base.records_per_txn,
+            bytes_per_txn=base.bytes_per_txn,
+            forces_per_txn=base.forces_per_txn,
+            servers=base.servers, copies=base.copies, mips=base.mips,
+            disk=base.disk, grouping_factor=factor,
+            multicast=base.multicast,
+        )
+        reports.append(analyze(cfg))
+    return reports

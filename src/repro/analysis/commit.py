@@ -1,0 +1,148 @@
+"""Commit coordination costs: replicated logging vs a common server.
+
+Section 5.5: "If remote logging were performed using a server having
+mirrored disks, rather than using the replicated logging algorithm …
+that server could be a coordinator for an optimized commit protocol.
+The number of messages and the number of forces of data to non
+volatile storage required for commit could be reduced, compared with
+frequently used distributed commit protocols [Lindsay et al 79]. …
+Still, if multi node transactions are frequent then common commit
+coordination is an argument against replicated logging."
+
+This module makes that qualitative trade-off quantitative.  For a
+distributed transaction touching ``participants`` client nodes:
+
+**Two-phase commit over replicated logs** (presumed-nothing 2PC, one
+of the participants acting as coordinator):
+
+* protocol messages: PREPARE, VOTE, COMMIT, ACK per subordinate
+  — ``4·(k−1)`` for ``k`` participants;
+* log forces: each subordinate forces a prepare record and a commit
+  record, the coordinator forces the commit decision — ``2k − 1``;
+* every force over a replicated log writes ``N`` copies, so each is
+  ``N`` ForceLog packets + ``N`` acknowledgments on the wire.
+
+**Common commit coordination** (all participants log to one mirrored
+server, which is also the coordinator):
+
+* participants stream their prepare records with their normal log
+  traffic and the coordinator's commit record commits everyone: the
+  decision is a single force at the shared server;
+* protocol messages collapse into the logging traffic: one
+  prepared-state force message + ack per subordinate, plus the
+  coordinator's own force + the outcome notifications.
+
+The latency chains use the same CPU/network/NVRAM constants as the
+rest of the analysis.  The other side of the ledger — availability —
+is exactly what Figure 3-4 quantifies: the common server is a single
+point of failure (0.95 at p = 0.05) while replicated logs push write
+availability to five nines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import DEFAULT_MIPS, CpuModel
+
+#: one-way LAN latency + transmission of a small packet, seconds.
+_NETWORK_HOP_S = 0.0003
+
+
+@dataclass(frozen=True, slots=True)
+class CommitCost:
+    """Cost of committing one distributed transaction."""
+
+    scheme: str
+    participants: int
+    #: commit-protocol messages between transaction-processing nodes
+    #: (or between them and the coordinating server).
+    protocol_messages: int
+    #: log forces on some node's critical path (each a durable wait).
+    log_forces: int
+    #: packets the forces add on the network (ForceLog + ack, × copies).
+    logging_packets: int
+    #: sequential critical-path latency estimate, seconds.
+    latency_s: float
+
+
+def two_phase_commit_cost(
+    participants: int,
+    copies: int = 2,
+    mips: float = DEFAULT_MIPS,
+) -> CommitCost:
+    """Presumed-nothing 2PC where every node has a replicated log."""
+    if participants < 1:
+        raise ValueError("a transaction has at least one participant")
+    k = participants
+    subs = k - 1
+    cpu = CpuModel(mips)
+    protocol_messages = 4 * subs
+    log_forces = 2 * k - 1
+    logging_packets = log_forces * copies * 2  # ForceLog + NewHighLSN ack
+
+    # critical path: PREPARE out, subordinate force, VOTE back,
+    # coordinator force, COMMIT out, subordinate force, ACK back.
+    force_latency = 2 * (_NETWORK_HOP_S + cpu.packet_time()) \
+        + cpu.message_time()  # parallel across the N copies
+    hop = _NETWORK_HOP_S + cpu.packet_time()
+    if subs:
+        latency = (hop + force_latency + hop      # prepare round
+                   + force_latency                 # coordinator decision
+                   + hop + force_latency + hop)    # commit round
+    else:
+        latency = force_latency  # local transaction: one commit force
+    return CommitCost(
+        scheme="2PC over replicated logs",
+        participants=k,
+        protocol_messages=protocol_messages,
+        log_forces=log_forces,
+        logging_packets=logging_packets,
+        latency_s=latency,
+    )
+
+
+def common_commit_cost(
+    participants: int,
+    mips: float = DEFAULT_MIPS,
+) -> CommitCost:
+    """All participants log to one mirrored server, which coordinates.
+
+    Prepared records ride the participants' ordinary log streams; the
+    server's NVRAM makes each prepared-state force one message + ack,
+    and the commit decision is a single forced record at the server,
+    after which outcome notifications go out.
+    """
+    if participants < 1:
+        raise ValueError("a transaction has at least one participant")
+    k = participants
+    cpu = CpuModel(mips)
+    # each participant forces its prepared state to the one server
+    # (1 message + 1 ack each), the coordinator record is server-local
+    protocol_messages = 2 * k + k  # force+ack per participant, outcome each
+    log_forces = k + 1             # k prepared-state forces + the decision
+    logging_packets = 2 * k        # the forces above ARE the logging traffic
+    hop = _NETWORK_HOP_S + cpu.packet_time()
+    force_latency = 2 * hop + cpu.message_time()
+    # prepares happen in parallel; then the decision force is local to
+    # the server; then outcomes fan out.
+    latency = force_latency + cpu.message_time() + hop
+    return CommitCost(
+        scheme="common commit (mirrored server)",
+        participants=k,
+        protocol_messages=protocol_messages,
+        log_forces=log_forces,
+        logging_packets=logging_packets,
+        latency_s=latency,
+    )
+
+
+def crossover_table(
+    max_participants: int = 6, copies: int = 2
+) -> list[tuple[int, CommitCost, CommitCost]]:
+    """Side-by-side costs for 1..max participants."""
+    rows = []
+    for k in range(1, max_participants + 1):
+        rows.append((k, two_phase_commit_cost(k, copies),
+                     common_commit_cost(k)))
+    return rows

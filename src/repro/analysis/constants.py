@@ -1,0 +1,90 @@
+"""The paper's workload and cost constants (Sections 2 and 4.1).
+
+Every number here is taken from the text:
+
+* ET1 in the TABS prototype "writes 700 bytes of log data in seven log
+  records"; only the final commit record is forced.
+* The target load is "fifty client nodes … ten local ET1 transactions
+  per second", 500 TPS aggregate, "six log servers", N = 2.
+* "Network and RPC implementation processing can be performed in one
+  thousand instructions per packet."
+* "Two thousand instructions are used to process the log records in
+  each message and to copy them to low latency non volatile memory."
+* "Writing a track to disk requires an additional two thousand
+  instructions."
+* Processing nodes have "processor speeds of at least a few MIPS".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# -- ET1 / TABS workload shape -------------------------------------------------
+
+#: Log records per ET1 transaction in TABS.
+ET1_RECORDS_PER_TXN = 7
+#: Total log bytes per ET1 transaction.
+ET1_BYTES_PER_TXN = 700
+#: Bytes per individual ET1 log record.
+ET1_BYTES_PER_RECORD = ET1_BYTES_PER_TXN // ET1_RECORDS_PER_TXN
+#: Forced (commit) records per ET1 transaction.
+ET1_FORCES_PER_TXN = 1
+
+# -- target system configuration ----------------------------------------------
+
+#: Client nodes in the target load.
+TARGET_CLIENTS = 50
+#: Local transactions per second per client.
+TARGET_TPS_PER_CLIENT = 10
+#: Aggregate transactions per second.
+TARGET_TPS = TARGET_CLIENTS * TARGET_TPS_PER_CLIENT
+#: Log servers serving the target load.
+TARGET_SERVERS = 6
+#: Copies per log record (N).
+TARGET_COPIES = 2
+
+# -- processing costs -----------------------------------------------------------
+
+#: Instructions to process one packet (send or receive).
+INSTRUCTIONS_PER_PACKET = 1000
+#: Instructions to process a message's records and copy them to NVRAM.
+INSTRUCTIONS_PER_MESSAGE = 2000
+#: Instructions to write one track from NVRAM to disk.
+INSTRUCTIONS_PER_TRACK_WRITE = 2000
+#: "A few MIPS" — the modelled CPU rating (millions of instr/second).
+#: Four MIPS makes the paper's "<10 % of CPU for communication" claim
+#: come out right with two packets (request + reply) per RPC.
+DEFAULT_MIPS = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class CpuModel:
+    """Converts instruction counts to simulated seconds.
+
+    The per-operation instruction budgets default to the paper's
+    Section 4.1 assumptions but are overridable: the Section 5.6
+    prototype experiment, for example, models Accent's expensive IPC
+    by raising ``instructions_per_packet`` far above the specialized
+    low-level protocols the paper calls for.
+    """
+
+    mips: float = DEFAULT_MIPS
+    instructions_per_packet: int = INSTRUCTIONS_PER_PACKET
+    instructions_per_message: int = INSTRUCTIONS_PER_MESSAGE
+    instructions_per_track_write: int = INSTRUCTIONS_PER_TRACK_WRITE
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0:
+            raise ValueError("mips must be positive")
+
+    def seconds(self, instructions: float) -> float:
+        return instructions / (self.mips * 1e6)
+
+    def packet_time(self, packets: int = 1) -> float:
+        return self.seconds(self.instructions_per_packet * packets)
+
+    def message_time(self, messages: int = 1) -> float:
+        return self.seconds(self.instructions_per_message * messages)
+
+    def track_write_time(self, tracks: int = 1) -> float:
+        return self.seconds(self.instructions_per_track_write * tracks)

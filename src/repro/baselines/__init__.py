@@ -1,0 +1,19 @@
+"""Baselines the paper compares replicated logging against.
+
+* :class:`~repro.baselines.local_log.LocalDiskLog` — logging to the
+  processing node's own (single or duplexed) disks;
+* :class:`~repro.baselines.unbatched.UnbatchedBackend` — one RPC per
+  log record (the Section 4.1 strawman);
+* :func:`~repro.baselines.mirrored_server.build_mirrored_server_system`
+  — one remote server with mirrored disks.
+"""
+
+from .local_log import LocalDiskLog
+from .mirrored_server import build_mirrored_server_system
+from .unbatched import UnbatchedBackend
+
+__all__ = [
+    "LocalDiskLog",
+    "UnbatchedBackend",
+    "build_mirrored_server_system",
+]

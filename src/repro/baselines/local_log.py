@@ -1,0 +1,105 @@
+"""Baseline: local disk logging on the processing node itself.
+
+The alternative the paper argues against in Section 1: "logs can be
+implemented with data written to duplexed disks on each processing
+node".  Two variants:
+
+* :class:`LocalDiskLog` — a single local disk (the configuration the
+  Section 5.6 prototype measurement compares remote logging against:
+  "remote logging to virtual memory on two remote servers used less
+  than twice the elapsed time required for local logging to a single
+  disk"); and
+* the same class over :class:`~repro.storage.disk.MirroredDisks` —
+  duplexed local disks, the traditional production configuration.
+
+The class implements the same backend interface as the replicated log,
+so every workload driver runs unchanged on either.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import LSNNotWritten
+from ..core.records import LogRecord, LSN
+from ..sim.kernel import Simulator
+from ..sim.stats import MetricSet
+
+
+class LocalDiskLog:
+    """A log on the node's own disk(s); group-commit on force.
+
+    Records are buffered in memory; a force writes all buffered bytes
+    in one disk operation (seek + rotational alignment + transfer) —
+    group commit, the best case for local logging.  Without NVRAM on a
+    workstation, every force pays the rotational latency.
+    """
+
+    def __init__(self, sim: Simulator, disk, metrics: MetricSet | None = None,
+                 name: str = "local"):
+        self.sim = sim
+        self.disk = disk
+        self.metrics = metrics if metrics is not None else MetricSet()
+        self.name = name
+        self._records: dict[LSN, LogRecord] = {}
+        self._next_lsn: LSN = 1
+        self._pending_bytes = 0
+        self._durable_through: LSN = 0
+        self.forces = 0
+
+    # -- backend interface ---------------------------------------------------
+
+    def log(self, data: bytes, kind: str = "data"):
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._records[lsn] = LogRecord(lsn=lsn, data=data, kind=kind)
+        self._pending_bytes += len(data)
+        return lsn
+        yield  # pragma: no cover - generator protocol
+
+    def force(self):
+        """Write everything pending to the local disk(s)."""
+        start = self.sim.now
+        if self._pending_bytes > 0:
+            yield from self.disk.force_record(self._pending_bytes)
+            self._pending_bytes = 0
+        self._durable_through = self._next_lsn - 1
+        self.forces += 1
+        self.metrics.latency(f"{self.name}.force").observe(self.sim.now - start)
+
+    def read(self, lsn: LSN):
+        record = self._records.get(lsn)
+        if record is None:
+            raise LSNNotWritten(lsn)
+        # disk read only if not recent enough to be cached; model the
+        # common recovery case (random read) for durable records.
+        if lsn <= self._durable_through:
+            yield from self.disk.random_read(max(len(record.data), 512))
+        return record
+
+    def end_of_log(self) -> LSN:
+        return self._next_lsn - 1
+
+    def iter_backward(self, from_lsn: LSN | None = None):
+        start = from_lsn if from_lsn is not None else self.end_of_log()
+        for lsn in range(start, 0, -1):
+            record = self._records.get(lsn)
+            if record is not None:
+                yield record
+
+    def scan_backward(self, from_lsn: LSN | None = None):
+        """Sim-style scan used by the recovery manager."""
+        records = list(self.iter_backward(from_lsn))
+        return records
+        yield  # pragma: no cover
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose the volatile tail: records past the last force vanish."""
+        for lsn in [l for l in self._records if l > self._durable_through]:
+            del self._records[lsn]
+        self._next_lsn = self._durable_through + 1
+        self._pending_bytes = 0
+
+    def restart(self):
+        return None
+        yield  # pragma: no cover

@@ -1,0 +1,49 @@
+"""Baseline: one remote log server with mirrored disks.
+
+The configuration Sections 3.2 and 5.5 compare replicated logging
+against: all redundancy lives on a single server node ("a single log
+server that stores multiple copies of data"), so ReadLog, WriteLog and
+client initialization are all available exactly when that one server is
+up (probability ``1 − p``), and the server "could be a coordinator for
+an optimized commit protocol" — the one argument in its favour.
+
+:func:`build_mirrored_server_system` assembles the configuration from
+the same parts as the replicated system: one :class:`SimLogServer`
+whose stream is written to duplexed disks, and a client with
+``M = N = 1``.
+"""
+
+from __future__ import annotations
+
+from ..client.log_client import SimLogClient
+from ..core.config import ReplicationConfig
+from ..core.epoch import LocalIdGenerator
+from ..server.log_server import SimLogServer
+from ..sim.kernel import Simulator
+from ..sim.stats import MetricSet
+from ..storage.disk import SLOW_1987_DISK, DiskParams, MirroredDisks
+
+
+def build_mirrored_server_system(
+    sim: Simulator,
+    network,
+    client_id: str = "client-0",
+    server_id: str = "mirror-server",
+    disk_params: DiskParams = SLOW_1987_DISK,
+    metrics: MetricSet | None = None,
+    delta: int = 8,
+) -> tuple[SimLogClient, SimLogServer]:
+    """One mirrored-disk server plus a single-copy client over it."""
+    metrics = metrics if metrics is not None else MetricSet()
+    disks = MirroredDisks(sim, disk_params, name=f"{server_id}.disks")
+    server = SimLogServer(
+        sim, network, server_id, metrics=metrics, disk=disks,
+    )
+    client = SimLogClient(
+        sim, network, client_id,
+        server_ids=[server_id],
+        config=ReplicationConfig(total_servers=1, copies=1, delta=delta),
+        epoch_source=LocalIdGenerator(),
+        metrics=metrics,
+    )
+    return client, server

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin front-end over the experiment harness so the paper's results
+can be regenerated without writing code:
+
+* ``python -m repro availability``  — the Figure 3-4 table;
+* ``python -m repro capacity``      — the Section 4.1 capacity table;
+* ``python -m repro figures``       — the Figures 3-2/3-3 server states;
+* ``python -m repro target-load``   — the simulated 500-TPS experiment;
+* ``python -m repro prototype``     — the Section 5.6 comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import CapacityConfig, analyze
+from .core.availability import figure_3_4_series
+from .harness import (
+    TargetLoadConfig,
+    run_degraded_mode,
+    run_load_sweep,
+    run_paper_figure_states,
+    run_prototype_comparison,
+    run_restart_latency,
+    run_target_load,
+)
+from .harness.tables import format_table
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    rows = []
+    for n, points in sorted(figure_3_4_series(p=args.p, max_m=args.max_m).items()):
+        for pt in points:
+            rows.append((pt.m, pt.n, f"{pt.write:.6f}", f"{pt.init:.6f}",
+                         f"{pt.read:.6f}"))
+    print(format_table(
+        ["M", "N", "WriteLog", "client init", "ReadLog"], rows,
+        title=f"Figure 3-4 — availability of replicated logs (p = {args.p})",
+    ))
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    report = analyze(CapacityConfig(
+        clients=args.clients, servers=args.servers, copies=args.copies,
+    ))
+    print(format_table(
+        ["quantity", "model", "paper"], report.rows(),
+        title=(f"Section 4.1 — capacity analysis ({args.clients} clients, "
+               f"{args.servers} servers, N={args.copies})"),
+    ))
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    states = run_paper_figure_states()
+    for title, tables in (
+        ("Figure 3-2 (record 10 partially written)", states.figure_3_2),
+        ("Figure 3-3 (after crash recovery)", states.figure_3_3),
+    ):
+        for server_id in sorted(tables):
+            print()
+            print(format_table(["LSN", "Epoch", "Present"],
+                               tables[server_id],
+                               title=f"{title} — {server_id}"))
+    print(f"\nreplicated log contents: {states.replicated_log_contents}")
+    return 0
+
+
+def _cmd_target_load(args: argparse.Namespace) -> int:
+    result = run_target_load(TargetLoadConfig(
+        clients=args.clients, servers=args.servers,
+        duration_s=args.duration, seed=args.seed,
+    ))
+    print(format_table(
+        ["quantity", "measured", "expected"], result.rows(),
+        title=(f"Section 4.1 (simulated) — {args.clients} clients, "
+               f"{args.servers} servers, {args.duration}s"),
+    ))
+    print(f"\ncompleted transactions: {result.completed_txns}; "
+          f"force p95 {result.force_p95_ms:.2f} ms")
+    return 0
+
+
+def _cmd_prototype(args: argparse.Namespace) -> int:
+    pc = run_prototype_comparison(transactions=args.transactions)
+    print(format_table(
+        ["remote (s)", "local (s)", "ratio"],
+        [(f"{pc.remote_elapsed_s:.2f}", f"{pc.local_elapsed_s:.2f}",
+          f"{pc.ratio:.2f}")],
+        title=(f"Section 5.6 — remote (N=2, Accent IPC) vs local disk, "
+               f"{args.transactions} ET1 transactions"),
+    ))
+    print("\npaper: remote used less than twice the local elapsed time")
+    return 0
+
+
+def _cmd_degraded(args: argparse.Namespace) -> int:
+    rows = run_degraded_mode(duration_s=args.duration)
+    print(format_table(
+        ["down", "up", "txns", "mean force (ms)", "survivor CPU"],
+        [(r.servers_down, r.servers_up, r.completed_txns,
+          f"{r.mean_force_ms:.2f}",
+          f"{r.survivor_cpu_utilization * 100:.1f}%") for r in rows],
+        title="Section 3.2 — WriteLog under server outages",
+    ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = run_load_sweep(duration_s=args.duration)
+    print(format_table(
+        ["offered TPS/client", "achieved", "mean force (ms)", "disk util",
+         "shed"],
+        [(f"{r.tps_per_client:.0f}", f"{r.achieved_tps:.0f}",
+          f"{r.mean_force_ms:.2f}", f"{r.disk_utilization * 100:.0f}%",
+          r.messages_shed) for r in rows],
+        title="Saturation sweep",
+    ))
+    return 0
+
+
+def _cmd_restart(args: argparse.Namespace) -> int:
+    rows = run_restart_latency()
+    print(format_table(
+        ["M", "mean restart (ms)", "max restart (ms)"],
+        [(r.m, f"{r.mean_restart_ms:.1f}", f"{r.max_restart_ms:.1f}")
+         for r in rows],
+        title="Client initialization latency vs M",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Distributed Logging for Transaction "
+                    "Processing' (SIGMOD 1987)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("availability", help="Figure 3-4 closed forms")
+    p.add_argument("--p", type=float, default=0.05,
+                   help="per-server unavailability (default 0.05)")
+    p.add_argument("--max-m", type=int, default=8)
+    p.set_defaults(func=_cmd_availability)
+
+    p = sub.add_parser("capacity", help="Section 4.1 capacity analysis")
+    p.add_argument("--clients", type=int, default=50)
+    p.add_argument("--servers", type=int, default=6)
+    p.add_argument("--copies", type=int, default=2)
+    p.set_defaults(func=_cmd_capacity)
+
+    p = sub.add_parser("figures", help="Figures 3-2/3-3 server states")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("target-load", help="simulated Section 4.1 load")
+    p.add_argument("--clients", type=int, default=50)
+    p.add_argument("--servers", type=int, default=6)
+    p.add_argument("--duration", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_target_load)
+
+    p = sub.add_parser("prototype", help="Section 5.6 comparison")
+    p.add_argument("--transactions", type=int, default=200)
+    p.set_defaults(func=_cmd_prototype)
+
+    p = sub.add_parser("degraded", help="WriteLog under server outages")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.set_defaults(func=_cmd_degraded)
+
+    p = sub.add_parser("sweep", help="offered-load saturation sweep")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("restart-latency", help="client init time vs M")
+    p.set_defaults(func=_cmd_restart)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The transaction-processing client node.
+
+* :mod:`repro.client.log_client` — the network logging process
+  (grouping, forces, δ bound, retries, server switching, restart);
+* :mod:`repro.client.backends` — one generator interface over the
+  direct and simulated logs;
+* :mod:`repro.client.recovery_manager` — WAL transactions, page
+  cleaning, checkpoints, restart recovery;
+* :mod:`repro.client.splitting` — Section 5.2 undo caching;
+* :mod:`repro.client.node` — the assembled client node with a
+  crash/restart lifecycle.
+"""
+
+from .backends import DirectLogBackend, LogBackend, SimLogBackend
+from .dumps import Dump, DumpManager
+from .epoch_net import NetworkEpochSource
+from .log_client import DEFAULT_FORCE_TIMEOUT_S, SimLogClient
+from .node import ClientNode
+from .recovery_manager import (
+    Database,
+    RecoveryManager,
+    Transaction,
+    TransactionError,
+    TxnStatus,
+    decode,
+    encode_abort,
+    encode_begin,
+    encode_checkpoint,
+    encode_commit,
+    encode_redo,
+    encode_rollback,
+    encode_savepoint,
+    encode_undo,
+    encode_update,
+)
+from .splitting import UndoCache, UndoComponent
+
+__all__ = [
+    "ClientNode",
+    "DEFAULT_FORCE_TIMEOUT_S",
+    "Database",
+    "Dump",
+    "DumpManager",
+    "DirectLogBackend",
+    "LogBackend",
+    "NetworkEpochSource",
+    "RecoveryManager",
+    "SimLogBackend",
+    "SimLogClient",
+    "Transaction",
+    "TransactionError",
+    "TxnStatus",
+    "UndoCache",
+    "UndoComponent",
+    "decode",
+    "encode_abort",
+    "encode_begin",
+    "encode_checkpoint",
+    "encode_commit",
+    "encode_redo",
+    "encode_rollback",
+    "encode_savepoint",
+    "encode_undo",
+    "encode_update",
+]

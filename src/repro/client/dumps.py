@@ -1,0 +1,126 @@
+"""Database dumps and media-failure recovery (Section 5.3).
+
+"Periodic dumps can be used to limit the total amount of log data
+needed for media failure recovery."
+
+A :class:`Dump` is a consistent copy of the node's *stable* database
+tagged with the log position it reflects.  Media recovery after losing
+the data disk is: load the newest dump, then replay the log forward
+from the dump's LSN (redoing winners, undoing losers), exactly as node
+restart recovery does but starting from the dump instead of from an
+empty stable store.
+
+The :class:`DumpManager` also computes the truncation points the
+server-side :class:`~repro.server.space.SpaceManager` consumes: after
+a dump, no log record below the dump LSN is needed for media recovery,
+and after a checkpoint with no older active transaction, none below
+the checkpoint is needed for node recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.records import LSN
+from ..server.space import TruncationPoint
+from .recovery_manager import RecoveryManager
+
+
+@dataclass(frozen=True, slots=True)
+class Dump:
+    """A consistent snapshot of the stable database.
+
+    ``replay_from`` is the LSN media recovery must replay from — the
+    minimum of the position just after the dump and the begin LSN of
+    the oldest transaction active when the dump was taken (whose undo
+    records must stay readable in case it loses).
+    """
+
+    dump_lsn: LSN
+    replay_from: LSN
+    contents: dict[str, str]
+
+    @property
+    def byte_size(self) -> int:
+        return sum(len(k) + len(v) for k, v in self.contents.items())
+
+
+class DumpManager:
+    """Takes dumps and drives media recovery for one client node."""
+
+    def __init__(self, rm: RecoveryManager):
+        self.rm = rm
+        self.dumps: list[Dump] = []
+
+    # -- taking dumps ---------------------------------------------------------
+
+    def take_dump(self):
+        """Flush, checkpoint, and snapshot stable storage.
+
+        ``yield from`` me; returns the :class:`Dump`.  The dump is
+        consistent because every committed update is first made stable
+        (clean_all under WAL) and the checkpoint records the (empty)
+        set of relevant in-flight transactions' effects on the
+        snapshot: updates from still-active transactions are in the
+        cache only, so the stable copy holds committed data plus any
+        cleaned-but-uncommitted pages — whose undo records the replay
+        will apply, exactly as in node recovery.
+        """
+        yield from self.rm.clean_all()
+        yield from self.rm.checkpoint()
+        dump_lsn = self.rm.backend.end_of_log()
+        if self.rm.active:
+            oldest_active = min(
+                txn.begin_lsn for txn in self.rm.active.values()
+            )
+        else:
+            oldest_active = dump_lsn + 1
+        dump = Dump(
+            dump_lsn=dump_lsn,
+            replay_from=min(dump_lsn + 1, oldest_active),
+            contents=dict(self.rm.db.stable),
+        )
+        self.dumps.append(dump)
+        return dump
+
+    @property
+    def latest(self) -> Dump | None:
+        return self.dumps[-1] if self.dumps else None
+
+    # -- media recovery -----------------------------------------------------------
+
+    def media_recovery(self):
+        """Recover from a destroyed data disk: dump + forward log replay.
+
+        ``yield from`` me; returns the recovery summary.  Requires at
+        least one dump.
+        """
+        dump = self.latest
+        if dump is None:
+            raise RuntimeError("media recovery requires a prior dump")
+        self.rm.db.stable = dict(dump.contents)
+        self.rm.db.cache.clear()
+        summary = yield from self.rm.restart_recovery(
+            from_lsn=dump.replay_from)
+        summary["replayed_from_lsn"] = dump.replay_from
+        return summary
+
+    # -- truncation points -----------------------------------------------------------
+
+    def truncation_point(self) -> TruncationPoint:
+        """What this node still needs from its replicated log.
+
+        Node recovery needs records from the oldest LSN an active
+        transaction wrote (or the end of the log if idle); media
+        recovery needs records from the latest dump onward.  With no
+        dump, everything is needed.
+        """
+        if self.rm.active:
+            node_lsn = min(txn.begin_lsn for txn in self.rm.active.values())
+        else:
+            node_lsn = self.rm.backend.end_of_log() + 1
+        media_lsn = self.latest.replay_from if self.latest else 1
+        return TruncationPoint(
+            node_recovery_lsn=max(node_lsn, media_lsn),
+            media_recovery_lsn=media_lsn,
+        )

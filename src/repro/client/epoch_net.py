@@ -1,0 +1,88 @@
+"""The replicated identifier generator over the network (Appendix I).
+
+The appendix's footnote places generator-state representatives on log
+server nodes, so NewID's quorum Read and Write travel over the same
+connections as the log traffic.  :class:`NetworkEpochSource` performs
+NewID with RPCs issued through a :class:`~repro.client.SimLogClient`'s
+connections: read ``⌈(N+1)/2⌉`` representatives, write a value higher
+than any read to ``⌈N/2⌉`` of them.
+
+The source also supports the plain ``new_id()`` interface (raising) so
+misconfiguration fails loudly rather than silently skipping the
+network.
+"""
+
+from __future__ import annotations
+
+from ..core.epoch import read_quorum_size, write_quorum_size
+from ..core.errors import NotEnoughServers, ServerUnavailable
+from ..net.messages import (
+    AckReply,
+    GeneratorReadCall,
+    GeneratorReadReply,
+    GeneratorWriteCall,
+)
+
+
+class NetworkEpochSource:
+    """NewID by quorum RPCs against representative-hosting servers."""
+
+    def __init__(self, representative_server_ids: list[str]):
+        if not representative_server_ids:
+            raise NotEnoughServers("generator needs representatives")
+        self.rep_ids = list(representative_server_ids)
+        self.new_ids_issued = 0
+
+    @property
+    def n_reps(self) -> int:
+        return len(self.rep_ids)
+
+    def new_id(self) -> int:
+        raise NotImplementedError(
+            "NetworkEpochSource issues ids over the network; the client "
+            "drives it via new_id_net()"
+        )
+
+    def new_id_net(self, client):
+        """Perform one NewID through ``client``'s connections.
+
+        ``yield from`` me inside a simulation process.  Raises
+        :class:`NotEnoughServers` when either quorum cannot be reached.
+        """
+        values: list[int] = []
+        reachable: list[str] = []
+        for server_id in self.rep_ids:
+            try:
+                yield from client._connect(server_id)
+                reply = yield from client._rpcs[server_id].call(
+                    GeneratorReadCall(client_id=client.client_id))
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, GeneratorReadReply):
+                values.append(reply.value)
+                reachable.append(server_id)
+        need_read = read_quorum_size(self.n_reps)
+        if len(values) < need_read:
+            raise NotEnoughServers(
+                f"generator read quorum needs {need_read}, "
+                f"got {len(values)}")
+        new_value = max(values) + 1
+        written = 0
+        need_write = write_quorum_size(self.n_reps)
+        for server_id in reachable:
+            if written >= need_write:
+                break
+            try:
+                reply = yield from client._rpcs[server_id].call(
+                    GeneratorWriteCall(client_id=client.client_id,
+                                       value=new_value))
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, AckReply):
+                written += 1
+        if written < need_write:
+            raise NotEnoughServers(
+                f"generator write quorum needs {need_write}, "
+                f"wrote {written}")
+        self.new_ids_issued += 1
+        return new_value

@@ -1,0 +1,612 @@
+"""The client node's logging process (Sections 3.1.2 and 4.2).
+
+:class:`SimLogClient` is the network-facing twin of
+:class:`~repro.core.replicated_log.ReplicatedLog`: the same replication
+algorithm, run over the Figure 4-1 protocol instead of direct calls.
+
+Behaviours taken from the paper:
+
+* **Grouping** — records are "buffered in virtual memory until a force
+  occurs or the buffer fills"; a force sends the whole group in as few
+  packets as possible, with only the last packet marked ForceLog (one
+  acknowledgment per force).
+* **The δ bound** — "the client must limit the number of records
+  contained in unacknowledged WriteLog and ForceLog messages to ensure
+  that no more than δ log records are partially written"; the client
+  keeps every unacknowledged record in memory so it can resend.
+* **Retry and switch** — a ForceLog without a response is retried "a
+  number of times before moving to a different server"; on a switch the
+  client sends NewInterval and resends everything not yet durable on
+  ``N`` servers.
+* **MissingInterval handling** — resend the missing records, or send
+  NewInterval when they are already durable elsewhere.
+* **Restart** — the client initialization procedure (interval lists
+  from ``M − N + 1`` servers, fresh epoch, CopyLog of the last δ
+  records plus δ not-present guards, InstallCopies), performed with
+  synchronous RPCs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis.constants import DEFAULT_MIPS, CpuModel
+from ..core.config import ReplicationConfig
+from ..core.errors import (
+    LSNNotWritten,
+    NotEnoughServers,
+    NotInitialized,
+    RecordNotPresent,
+    ServerUnavailable,
+    StaleEpoch,
+)
+from ..core.intervals import MergedIntervalMap, ServerIntervals
+from ..core.records import Epoch, LogRecord, LSN, StoredRecord
+from ..net.messages import (
+    AckReply,
+    CopyLogCall,
+    ForceLogMsg,
+    InstallCopiesCall,
+    IntervalListCall,
+    IntervalListReply,
+    MissingIntervalMsg,
+    NewHighLSNMsg,
+    NewIntervalMsg,
+    ReadLogForwardCall,
+    ReadLogReply,
+    WriteLogMsg,
+)
+from ..net.packet import PACKET_PAYLOAD_BYTES
+from ..net.rpc import RpcClient, RpcReply
+from ..net.transport import Connection, Endpoint
+from ..sim.kernel import Simulator
+from ..sim.resources import Resource
+from ..sim.stats import MetricSet
+from ..server.load import StickyAssignment
+
+#: Wire overhead per record inside a write message.
+_RECORD_OVERHEAD = 16
+#: How long a force waits for acknowledgments before retrying.
+DEFAULT_FORCE_TIMEOUT_S = 0.25
+
+
+class SimLogClient:
+    """The single logging process of one transaction-processing node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network,
+        client_id: str,
+        server_ids: list[str],
+        config: ReplicationConfig,
+        epoch_source,
+        mips: float = DEFAULT_MIPS,
+        metrics: MetricSet | None = None,
+        assignment=None,
+        force_timeout_s: float = DEFAULT_FORCE_TIMEOUT_S,
+        rng: random.Random | None = None,
+        cpu_model: CpuModel | None = None,
+    ):
+        if len(server_ids) != config.total_servers:
+            raise NotEnoughServers(
+                f"config names M={config.total_servers} servers, "
+                f"got {len(server_ids)}"
+            )
+        self.sim = sim
+        self.client_id = client_id
+        self.server_ids = list(server_ids)
+        self.config = config
+        self.epoch_source = epoch_source
+        self.endpoint = Endpoint(sim, network, client_id)
+        self.cpu = Resource(sim, capacity=1, name=f"{client_id}.cpu")
+        self.cpu_model = cpu_model if cpu_model is not None else CpuModel(mips)
+        self.metrics = metrics if metrics is not None else MetricSet()
+        self.assignment = assignment if assignment is not None else StickyAssignment()
+        self.force_timeout_s = force_timeout_s
+        self.rng = rng if rng is not None else random.Random(hash(client_id) & 0xFFFF)
+
+        # connections
+        self._conns: dict[str, Connection] = {}
+        self._rpcs: dict[str, RpcClient] = {}
+        # volatile replication state
+        self._merged: MergedIntervalMap | None = None
+        self._epoch: Epoch = 0
+        self._next_lsn: LSN = 1
+        self._write_set: list[str] = []
+        self._buffer: list[StoredRecord] = []
+        self._unacked: dict[LSN, StoredRecord] = {}
+        self._acked: dict[str, LSN] = {}
+        self._ack_waiters: dict[str, list[tuple[LSN, object]]] = {}
+        self._missing: dict[str, tuple[LSN, LSN]] = {}
+        self._sent_high: dict[str, LSN] = {}
+        self._server_loads: dict[str, float] = {}
+        # statistics
+        self.forces = 0
+        self.server_switches = 0
+        self.recoveries = 0
+
+    # -- connection plumbing -------------------------------------------------
+
+    def _connect(self, server_id: str):
+        """Ensure a live connection + RPC client to ``server_id``."""
+        conn = self._conns.get(server_id)
+        if conn is not None and conn.open:
+            return conn
+        conn = yield from self.endpoint.connect(server_id)
+        self._conns[server_id] = conn
+        self._rpcs[server_id] = RpcClient(self.sim, conn)
+        self.sim.spawn(self._pump(server_id, conn),
+                       name=f"{self.client_id}.pump.{server_id}")
+        return conn
+
+    def _pump(self, server_id: str, conn: Connection):
+        """Dispatch inbound traffic from one server."""
+        while conn.open:
+            message = yield conn.inbox.get()
+            yield from self.cpu.use(self.cpu_model.packet_time())
+            if isinstance(message, RpcReply):
+                rpc = self._rpcs.get(server_id)
+                if rpc is not None:
+                    rpc.dispatch(message)
+            elif isinstance(message, NewHighLSNMsg):
+                self._note_ack(server_id, message.new_high_lsn)
+            elif isinstance(message, MissingIntervalMsg):
+                self._missing[server_id] = (message.lo, message.hi)
+
+    def _note_ack(self, server_id: str, high: LSN) -> None:
+        prev = self._acked.get(server_id, 0)
+        if high <= prev:
+            return
+        self._acked[server_id] = high
+        waiters = self._ack_waiters.get(server_id, [])
+        still = []
+        for threshold, event in waiters:
+            if high >= threshold and not event.triggered:
+                event.succeed(high)
+            elif not event.triggered:
+                still.append((threshold, event))
+        self._ack_waiters[server_id] = still
+        self._gc_unacked()
+
+    def durable_through(self) -> LSN:
+        """Highest LSN acknowledged by *all* write-set servers."""
+        if not self._write_set:
+            return 0
+        return min(self._acked.get(s, 0) for s in self._write_set)
+
+    def _gc_unacked(self) -> None:
+        durable = self.durable_through()
+        for lsn in [l for l in self._unacked if l <= durable]:
+            del self._unacked[lsn]
+
+    # -- client initialization (restart procedure) ------------------------------
+
+    def initialize(self):
+        """Run the restart procedure over the network; ``yield from`` me."""
+        # 1. interval lists from every reachable server
+        reports: list[ServerIntervals] = []
+        for server_id in self.server_ids:
+            try:
+                yield from self._connect(server_id)
+                reply = yield from self._rpcs[server_id].call(
+                    IntervalListCall(client_id=self.client_id)
+                )
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, IntervalListReply):
+                reports.append(ServerIntervals(server_id, reply.intervals))
+        if len(reports) < self.config.init_quorum:
+            raise NotEnoughServers(
+                f"client init needs {self.config.init_quorum} interval "
+                f"lists, got {len(reports)}"
+            )
+        merged = MergedIntervalMap.merge(reports)
+        # 2. a fresh epoch — over the network when the generator's
+        # representatives live on log-server nodes (Appendix I)
+        if hasattr(self.epoch_source, "new_id_net"):
+            new_epoch = yield from self.epoch_source.new_id_net(self)
+        else:
+            new_epoch = self.epoch_source.new_id()
+        if new_epoch <= merged.highest_epoch():
+            raise StaleEpoch("generator", new_epoch, merged.highest_epoch())
+        # 3. read the last δ records
+        high = merged.high_lsn() or 0
+        copy_lsns = [
+            lsn for lsn in range(max(1, high - self.config.delta + 1), high + 1)
+            if lsn in merged
+        ]
+        staged: list[StoredRecord] = []
+        for lsn in copy_lsns:
+            record = yield from self._read_stored(merged, lsn)
+            staged.append(StoredRecord(
+                lsn=record.lsn, epoch=new_epoch, present=record.present,
+                data=record.data, kind=record.kind,
+            ))
+        staged += [
+            StoredRecord(lsn=high + i, epoch=new_epoch, present=False, kind="guard")
+            for i in range(1, self.config.delta + 1)
+        ]
+        # 4. CopyLog + InstallCopies on N servers
+        candidates = self.assignment.choose(
+            self.server_ids, len(self.server_ids), self._server_loads
+        )
+        installed: list[str] = []
+        for server_id in candidates:
+            if len(installed) >= self.config.copies:
+                break
+            try:
+                yield from self._connect(server_id)
+                rpc = self._rpcs[server_id]
+                for chunk in _pack_records(staged):
+                    reply = yield from rpc.call(CopyLogCall(
+                        client_id=self.client_id, epoch=new_epoch, records=chunk,
+                    ))
+                    if not isinstance(reply, AckReply):
+                        raise ServerUnavailable(server_id, "copy rejected")
+                reply = yield from rpc.call(InstallCopiesCall(
+                    client_id=self.client_id, epoch=new_epoch,
+                ))
+                if not isinstance(reply, AckReply):
+                    raise ServerUnavailable(server_id, "install rejected")
+            except ServerUnavailable:
+                continue
+            installed.append(server_id)
+        if len(installed) < self.config.copies:
+            raise NotEnoughServers(
+                f"recovery installed copies on {len(installed)} servers; "
+                f"{self.config.copies} required"
+            )
+        for record in staged:
+            for server_id in installed:
+                merged.note(record.lsn, new_epoch, server_id)
+        # 5. adopt the new state
+        self._merged = merged
+        self._epoch = new_epoch
+        self._next_lsn = (merged.high_lsn() or 0) + 1
+        self._write_set = installed
+        guard_high = merged.high_lsn() or 0
+        for server_id in installed:
+            self._acked[server_id] = guard_high
+            self._sent_high[server_id] = guard_high
+        self._buffer.clear()
+        self._unacked.clear()
+        self.recoveries += 1
+
+    def _read_stored(self, merged: MergedIntervalMap, lsn: LSN) -> StoredRecord:
+        """Fetch one stored record (present flag intact) for recovery."""
+        for server_id in merged.servers_for(lsn):
+            try:
+                yield from self._connect(server_id)
+                reply = yield from self._rpcs[server_id].call(
+                    ReadLogForwardCall(client_id=self.client_id, lsn=lsn)
+                )
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, ReadLogReply) and reply.records:
+                first = reply.records[0]
+                if first.lsn == lsn:
+                    return first
+        raise NotEnoughServers(f"no reachable server stores LSN {lsn}")
+
+    # -- logging -------------------------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        return self._merged is not None
+
+    def log(self, data: bytes, kind: str = "data"):
+        """Buffer one record; returns its LSN.  ``yield from`` me.
+
+        Sends nothing unless the buffer has outgrown a packet, in which
+        case the full packets are streamed as asynchronous WriteLog
+        messages.  Blocks (forces) if the δ bound would be exceeded.
+        """
+        if self._merged is None:
+            raise NotInitialized("client log not initialized")
+        while self._next_lsn - self.durable_through() > self.config.delta:
+            yield from self.force()
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        record = StoredRecord(lsn=lsn, epoch=self._epoch, present=True,
+                              data=data, kind=kind)
+        self._buffer.append(record)
+        self._unacked[lsn] = record
+        if _records_size(self._buffer) > PACKET_PAYLOAD_BYTES:
+            yield from self._stream_buffer()
+        return lsn
+
+    def _stream_buffer(self):
+        """Send all full packets in the buffer as WriteLog messages."""
+        chunks = _pack_records(self._buffer)
+        # keep the last (possibly partial) chunk buffered
+        to_send, self._buffer = chunks[:-1], list(chunks[-1])
+        for chunk in to_send:
+            for server_id in list(self._write_set):
+                yield from self._send_write(server_id, chunk, forced=False)
+
+    def force(self):
+        """Flush the buffer and wait until N servers acknowledge.
+
+        This is the latency the transaction layer sees at commit; it is
+        recorded in the ``<client>.force`` latency metric.
+        """
+        if self._merged is None:
+            raise NotInitialized("client log not initialized")
+        start = self.sim.now
+        high = self._next_lsn - 1
+        self._buffer.clear()  # records remain in _unacked for resends
+        if high == 0:
+            return
+        pending = [s for s in self._write_set
+                   if self._acked.get(s, 0) < high]
+        if not pending and not self._buffer:
+            return
+        done = []
+        for server_id in list(self._write_set):
+            if self._acked.get(server_id, 0) >= high:
+                done.append(server_id)
+                continue
+            ok = yield from self._force_one(server_id, high)
+            if ok:
+                done.append(server_id)
+            else:
+                replacement = yield from self._switch_server(server_id, high)
+                if replacement is not None:
+                    done.append(replacement)
+        if len(done) < self.config.copies:
+            self._merged = None
+            raise NotEnoughServers(
+                f"force reached only {len(done)} of {self.config.copies} servers"
+            )
+        self.forces += 1
+        self._gc_unacked()
+        elapsed = self.sim.now - start
+        self.metrics.latency(f"{self.client_id}.force").observe(elapsed)
+
+    def _force_one(self, server_id: str, high: LSN) -> bool:
+        """Drive one server to acknowledge through ``high``."""
+        for _attempt in range(self.config.write_retries + 1):
+            low = max(self._acked.get(server_id, 0),
+                      self._sent_high.get(server_id, 0)) + 1
+            # On a retry, resend everything unacknowledged.
+            if _attempt > 0:
+                low = self._acked.get(server_id, 0) + 1
+            records = [self._unacked[lsn]
+                       for lsn in range(low, high + 1) if lsn in self._unacked]
+            try:
+                if records:
+                    for i, chunk in enumerate(_pack_records(records)):
+                        last = i == len(_pack_records(records)) - 1
+                        yield from self._send_write(server_id, chunk, forced=last)
+                else:
+                    # nothing new to send; solicit an ack by resending
+                    # the highest record as a ForceLog (idempotent).
+                    probe = self._unacked.get(high)
+                    if probe is None:
+                        return self._acked.get(server_id, 0) >= high
+                    yield from self._send_write(server_id, (probe,), forced=True)
+            except ServerUnavailable:
+                return False
+            ok = yield from self._await_ack(server_id, high)
+            if ok:
+                self._server_loads[server_id] = self.sim.now  # freshness signal
+                return True
+            # handle a MissingInterval the server may have raised
+            missing = self._missing.pop(server_id, None)
+            if missing is not None:
+                yield from self._handle_missing(server_id, missing)
+        return False
+
+    def _await_ack(self, server_id: str, high: LSN) -> bool:
+        if self._acked.get(server_id, 0) >= high:
+            return True
+        event = self.sim.event(f"ack-{server_id}-{high}")
+        self._ack_waiters.setdefault(server_id, []).append((high, event))
+        yield self.sim.any_of([event, self.sim.timeout(self.force_timeout_s)])
+        return self._acked.get(server_id, 0) >= high
+
+    def _handle_missing(self, server_id: str, missing: tuple[LSN, LSN]):
+        """Resend a missing interval, or NewInterval if it is gone.
+
+        "When a client receives a MissingInterval message it will
+        either resend the missing log records in a ForceLog message, or
+        use the NewInterval message to inform the server that it should
+        ignore the missing log records and start a new interval."
+        """
+        lo, hi = missing
+        if all(lsn in self._unacked for lsn in range(lo, hi + 1)):
+            records = [self._unacked[lsn] for lsn in range(lo, hi + 1)]
+            for i, chunk in enumerate(_pack_records(records)):
+                forced = i == len(_pack_records(records)) - 1
+                yield from self._send_write(server_id, chunk, forced=forced)
+        else:
+            conn = yield from self._connect(server_id)
+            yield from self.cpu.use(self.cpu_model.packet_time())
+            yield from conn.send(NewIntervalMsg(
+                client_id=self.client_id, epoch=self._epoch,
+                starting_lsn=hi + 1,
+            ))
+            self._sent_high[server_id] = hi
+
+    def _switch_server(self, failed: str, high: LSN) -> str | None:
+        """Replace a failed write-set member; bring the new one current.
+
+        The replacement receives NewInterval followed by every record
+        not yet durable on N servers (all within δ, hence in memory).
+        """
+        others = [s for s in self.server_ids
+                  if s not in self._write_set and s != failed]
+        ordered = self.assignment.choose(others, len(others), self._server_loads)
+        for candidate in ordered:
+            try:
+                conn = yield from self._connect(candidate)
+            except ServerUnavailable:
+                continue
+            start_lsn = self.durable_through() + 1
+            yield from self.cpu.use(self.cpu_model.packet_time())
+            yield from conn.send(NewIntervalMsg(
+                client_id=self.client_id, epoch=self._epoch,
+                starting_lsn=start_lsn,
+            ))
+            self._sent_high[candidate] = start_lsn - 1
+            self._acked[candidate] = 0
+            # swap into the write set before forcing so acks count
+            self._write_set = [candidate if s == failed else s
+                               for s in self._write_set]
+            ok = yield from self._force_one(candidate, high)
+            if ok:
+                self.server_switches += 1
+                if self._merged is not None:
+                    for lsn in range(start_lsn, high + 1):
+                        self._merged.note(lsn, self._epoch, candidate)
+                return candidate
+            self._write_set = [failed if s == candidate else s
+                               for s in self._write_set]
+        return None
+
+    def _send_write(self, server_id: str, chunk: tuple[StoredRecord, ...],
+                    forced: bool):
+        conn = yield from self._connect(server_id)
+        cls = ForceLogMsg if forced else WriteLogMsg
+        message = cls(client_id=self.client_id, epoch=chunk[0].epoch,
+                      records=chunk)
+        yield from self.cpu.use(self.cpu_model.packet_time())
+        self.metrics.counter(f"{self.client_id}.msgs_out").add()
+        yield from conn.send(message)
+        self._sent_high[server_id] = max(
+            self._sent_high.get(server_id, 0), chunk[-1].lsn
+        )
+        if self._merged is not None:
+            for record in chunk:
+                self._merged.note(record.lsn, record.epoch, server_id)
+
+    def rotate_write_set(self):
+        """Deliberately move to a (possibly) different set of N servers.
+
+        Used by the load-assignment experiments: frequent switching is
+        exactly what Section 5.4 warns about ("clients might change
+        servers too frequently resulting in very long interval lists").
+        Everything pending is forced first, so the records the old
+        servers hold are durable; the new servers are told to start a
+        new interval at the next LSN.
+        """
+        yield from self.force()
+        durable = self.durable_through()
+        pool = list(self.server_ids)
+        new_set = self.assignment.choose(pool, self.config.copies,
+                                         self._server_loads)
+        for server_id in new_set:
+            if server_id in self._write_set:
+                continue
+            conn = yield from self._connect(server_id)
+            yield from self.cpu.use(self.cpu_model.packet_time())
+            yield from conn.send(NewIntervalMsg(
+                client_id=self.client_id, epoch=self._epoch,
+                starting_lsn=durable + 1,
+            ))
+            self._sent_high[server_id] = durable
+            self._acked[server_id] = durable
+        if len(new_set) == self.config.copies:
+            self._write_set = list(new_set)
+            self.server_switches += 1
+
+    # -- reads ------------------------------------------------------------------------
+
+    def read(self, lsn: LSN):
+        """ReadLog; ``yield from`` me; returns LogRecord.
+
+        Records still buffered on the client (not yet acknowledged by
+        N servers) are served from memory — a transaction aborting
+        before its records were forced reads them locally, which is the
+        behaviour Section 5.2 generalizes into undo caching.  Everything
+        else goes to a single server chosen from the merged map.
+        """
+        if self._merged is None:
+            raise NotInitialized("client log not initialized")
+        local = self._unacked.get(lsn)
+        if local is not None and local.present:
+            return LogRecord(lsn=local.lsn, data=local.data, kind=local.kind)
+        entry = self._merged.entry(lsn)
+        if entry is None:
+            raise LSNNotWritten(lsn)
+        for server_id in entry.servers:
+            try:
+                yield from self._connect(server_id)
+                reply = yield from self._rpcs[server_id].call(
+                    ReadLogForwardCall(client_id=self.client_id, lsn=lsn)
+                )
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, ReadLogReply) and reply.records:
+                first = reply.records[0]
+                if first.lsn != lsn:
+                    continue
+                if not first.present:
+                    raise RecordNotPresent(lsn)
+                return LogRecord(lsn=first.lsn, data=first.data, kind=first.kind)
+        raise NotEnoughServers(f"no server holding LSN {lsn} responded")
+
+    def end_of_log(self) -> LSN:
+        if self._merged is None:
+            raise NotInitialized("client log not initialized")
+        return max(self._merged.high_lsn() or 0, self._next_lsn - 1)
+
+    # -- crash lifecycle ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state (buffer, caches, connections)."""
+        self.endpoint.crash()
+        self._conns.clear()
+        self._rpcs.clear()
+        self._merged = None
+        self._epoch = 0
+        self._next_lsn = 1
+        self._buffer.clear()
+        self._unacked.clear()
+        self._acked.clear()
+        self._ack_waiters.clear()
+        self._missing.clear()
+        self._sent_high.clear()
+
+    def restart(self):
+        """Bring the node back and run client initialization."""
+        self.endpoint.restart()
+        yield from self.initialize()
+
+    @property
+    def write_set(self) -> tuple[str, ...]:
+        return tuple(self._write_set)
+
+    @property
+    def current_epoch(self) -> Epoch:
+        return self._epoch
+
+
+def _records_size(records: list[StoredRecord]) -> int:
+    return sum(_RECORD_OVERHEAD + len(r.data) for r in records)
+
+
+def _pack_records(
+    records: list[StoredRecord],
+) -> list[tuple[StoredRecord, ...]]:
+    """Split consecutive records into packet-sized chunks.
+
+    "Client processes and log servers attempt to pack as many log
+    records as will fit in a network packet in each call."  A single
+    record larger than a packet gets a chunk of its own (the transport
+    would fragment it; the model keeps it as one oversized packet).
+    """
+    chunks: list[tuple[StoredRecord, ...]] = []
+    current: list[StoredRecord] = []
+    size = 0
+    for record in records:
+        record_size = _RECORD_OVERHEAD + len(record.data)
+        if current and size + record_size > PACKET_PAYLOAD_BYTES:
+            chunks.append(tuple(current))
+            current, size = [], 0
+        current.append(record)
+        size += record_size
+    if current:
+        chunks.append(tuple(current))
+    return chunks

@@ -1,0 +1,152 @@
+"""Log-record splitting and undo caching (Section 5.2).
+
+"Often, log records written by a recovery manager contain independent
+redo and undo components.  The redo component … must be written stably
+to the log before transaction commit.  The undo component … does not
+need to be written to the log until just before the pages referenced
+… are written to non volatile storage.  Frequently transactions commit
+before the pages they modify are written."
+
+The :class:`UndoCache` keeps undo components in client virtual memory:
+
+* on **commit**, the transaction's undo components are discarded —
+  the log-volume saving splitting exists for;
+* on **page clean**, undo components referencing the page are surfaced
+  so the recovery manager can log them first (WAL);
+* on **abort**, the components are served locally, avoiding log-server
+  reads entirely.
+
+A byte budget models the finite cache: when it overflows, the oldest
+components are evicted to the log (surfaced via
+:meth:`take_overflow`), reproducing the paper's observation that the
+saving "depends on the size of the cache, and on the length of
+transactions".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class UndoComponent:
+    """One cached undo component: restore ``key`` to ``old``."""
+
+    txid: int
+    key: str
+    old: str
+
+    @property
+    def byte_size(self) -> int:
+        # tag + txid + separators, mirroring the encoded "N|…" record
+        return 8 + len(self.key) + len(self.old)
+
+
+class UndoCache:
+    """Client-memory cache of undo components, keyed by txn and page."""
+
+    def __init__(self, capacity_bytes: int = 1 << 20):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[int, UndoComponent] = OrderedDict()
+        self._next_id = 0
+        self._by_txn: dict[int, list[int]] = {}
+        self._by_key: dict[str, list[int]] = {}
+        self.bytes_cached = 0
+        # statistics
+        self.components_added = 0
+        self.components_discarded_on_commit = 0
+        self.components_logged_on_clean = 0
+        self.components_evicted = 0
+
+    def add(self, txid: int, key: str, old: str) -> None:
+        component = UndoComponent(txid, key, old)
+        entry_id = self._next_id
+        self._next_id += 1
+        self._entries[entry_id] = component
+        self._by_txn.setdefault(txid, []).append(entry_id)
+        self._by_key.setdefault(key, []).append(entry_id)
+        self.bytes_cached += component.byte_size
+        self.components_added += 1
+
+    # -- removal paths -------------------------------------------------------
+
+    def discard(self, txid: int) -> int:
+        """Commit path: drop the transaction's components; return count.
+
+        "When a transaction commits, the undo components of log records
+        written by the transaction are flushed from the cache."
+        """
+        removed = self._remove_ids(self._by_txn.pop(txid, []))
+        self.components_discarded_on_commit += len(removed)
+        return len(removed)
+
+    def take_for_abort(self, txid: int) -> list[tuple[str, str]]:
+        """Abort path: components newest-first, served locally."""
+        removed = self._remove_ids(self._by_txn.pop(txid, []))
+        removed.sort(key=lambda pair: pair[0], reverse=True)
+        return [(c.key, c.old) for _id, c in removed]
+
+    def take_for_clean(self, key: str) -> list[tuple[int, str]]:
+        """Clean path: components for ``key`` that must be logged first."""
+        removed = self._remove_ids(self._by_key.pop(key, []))
+        removed.sort(key=lambda pair: pair[0])
+        self.components_logged_on_clean += len(removed)
+        return [(c.txid, c.old) for _id, c in removed]
+
+    def take_last(self, txid: int, count: int) -> list[tuple[str, str]]:
+        """Partial-rollback path: drop the txn's newest ``count`` components.
+
+        Returns the removed ``(key, old)`` pairs newest-first, matching
+        the order a rollback-to-savepoint applies them.
+        """
+        ids = self._by_txn.get(txid, [])
+        removed = self._remove_ids(ids[len(ids) - count:] if count else [])
+        removed.sort(key=lambda pair: pair[0], reverse=True)
+        return [(c.key, c.old) for _id, c in removed]
+
+    def take_overflow(self) -> list[UndoComponent]:
+        """Oldest components past the byte budget (must be logged)."""
+        overflow: list[UndoComponent] = []
+        while self.bytes_cached > self.capacity_bytes and self._entries:
+            entry_id, component = next(iter(self._entries.items()))
+            self._remove_ids([entry_id])
+            overflow.append(component)
+            self.components_evicted += 1
+        return overflow
+
+    def _remove_ids(self, ids: list[int]) -> list[tuple[int, UndoComponent]]:
+        removed: list[tuple[int, UndoComponent]] = []
+        for entry_id in ids:
+            component = self._entries.pop(entry_id, None)
+            if component is None:
+                continue  # already taken via the other index
+            self.bytes_cached -= component.byte_size
+            removed.append((entry_id, component))
+            self._unindex(entry_id, component)
+        return removed
+
+    def _unindex(self, entry_id: int, component: UndoComponent) -> None:
+        txn_ids = self._by_txn.get(component.txid)
+        if txn_ids is not None and entry_id in txn_ids:
+            txn_ids.remove(entry_id)
+            if not txn_ids:
+                del self._by_txn[component.txid]
+        key_ids = self._by_key.get(component.key)
+        if key_ids is not None and entry_id in key_ids:
+            key_ids.remove(entry_id)
+            if not key_ids:
+                del self._by_key[component.key]
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_txn.clear()
+        self._by_key.clear()
+        self.bytes_cached = 0

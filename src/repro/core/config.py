@@ -1,0 +1,74 @@
+"""Replication configuration: the (M, N, δ) parameters of the paper.
+
+* ``M`` — total number of log servers available to a client.
+* ``N`` — copies written per record ("each client's log record being
+  stored on N of the M log servers", Section 3.1).  Practical values
+  are two or three (Section 3.2).
+* ``δ`` (delta) — the bound on records that may be partially written
+  when a client crashes.  With the strictly synchronous algorithm of
+  Section 3.1.2 this is 1; the grouped asynchronous interface of
+  Section 4.2 allows a larger, bounded δ ("the client must limit the
+  number of records contained in unacknowledged WriteLog and ForceLog
+  messages to ensure that no more than δ log records are partially
+  written").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationConfig:
+    """Parameters of a replicated log instance."""
+
+    total_servers: int  # M
+    copies: int = 2  # N
+    delta: int = 1  # max partially-written records
+    write_retries: int = 3  # ForceLog retries before switching servers
+
+    def __post_init__(self) -> None:
+        if self.copies < 1:
+            raise ConfigurationError("N (copies) must be at least 1")
+        if self.total_servers < self.copies:
+            raise ConfigurationError(
+                f"M ({self.total_servers}) must be >= N ({self.copies})"
+            )
+        if self.delta < 1:
+            raise ConfigurationError("delta must be at least 1")
+        if self.write_retries < 0:
+            raise ConfigurationError("write_retries must be non-negative")
+
+    @property
+    def m(self) -> int:
+        """Alias matching the paper's notation."""
+        return self.total_servers
+
+    @property
+    def n(self) -> int:
+        """Alias matching the paper's notation."""
+        return self.copies
+
+    @property
+    def init_quorum(self) -> int:
+        """Servers whose interval lists client initialization needs.
+
+        ``M − N + 1`` responses guarantee the merged list names at least
+        one server storing each fully written record (Section 3.1.2).
+        """
+        return self.total_servers - self.copies + 1
+
+    @property
+    def write_quorum(self) -> int:
+        """Servers a WriteLog must reach: exactly N."""
+        return self.copies
+
+    def max_tolerated_failures_for_write(self) -> int:
+        """Servers that may be down with WriteLog still available."""
+        return self.total_servers - self.copies
+
+    def max_tolerated_failures_for_init(self) -> int:
+        """Servers that may be down with client init still available."""
+        return self.copies - 1

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the replicated logging library.
+
+Every error raised by the public API derives from :class:`LogError`, so
+callers can catch one base class.  The sub-classes mirror the failure
+modes named in the paper: reading an LSN that was never written
+(Section 3.1), reading a record whose present flag is false
+(Section 3.1.2), and being unable to assemble a quorum of servers for a
+write or for client initialization (Section 3.2).
+"""
+
+from __future__ import annotations
+
+
+class LogError(Exception):
+    """Base class for all errors raised by the replicated log."""
+
+
+class ConfigurationError(LogError):
+    """A replication configuration is invalid (e.g. ``N > M``)."""
+
+
+class LSNNotWritten(LogError):
+    """ReadLog was called with an LSN no WriteLog ever returned.
+
+    The paper specifies that ``ReadLog`` signals an exception when its
+    argument "is an LSN that has not been returned by some preceding
+    WriteLog operation".
+    """
+
+    def __init__(self, lsn: int):
+        super().__init__(f"LSN {lsn} has not been written to this log")
+        self.lsn = lsn
+
+
+class RecordNotPresent(LogError):
+    """The record exists on servers but its present flag is false.
+
+    Not-present records are written by the client-restart procedure
+    (Section 3.1.2); they are placeholders that must never be returned
+    as log data.
+    """
+
+    def __init__(self, lsn: int):
+        super().__init__(f"log record {lsn} is marked not present")
+        self.lsn = lsn
+
+
+class NotEnoughServers(LogError):
+    """A quorum could not be assembled.
+
+    Raised when fewer than ``N`` servers accept a write, or fewer than
+    ``M - N + 1`` servers respond with interval lists during client
+    initialization, or a majority of generator-state representatives is
+    unreachable (Appendix I).
+    """
+
+
+class ServerUnavailable(LogError):
+    """A specific log server did not respond or refused an operation."""
+
+    def __init__(self, server_id: str, reason: str = "no response"):
+        super().__init__(f"log server {server_id!r} unavailable: {reason}")
+        self.server_id = server_id
+        self.reason = reason
+
+
+class RecordNotStored(ServerUnavailable):
+    """A ServerReadLog asked a server for an LSN it does not store.
+
+    Per Section 3.1.1, "a log server does not respond to ServerReadLog
+    requests for records that it does not store"; the client observes
+    this as a (per-server) unavailability and must redirect the read.
+    """
+
+    def __init__(self, server_id: str, lsn: int):
+        super().__init__(server_id, f"does not store LSN {lsn}")
+        self.lsn = lsn
+
+
+class NotInitialized(LogError):
+    """An operation was attempted before client initialization.
+
+    The replication algorithm requires the client's cached interval
+    information to be rebuilt (Section 3.1.2) after every restart and
+    before any WriteLog/ReadLog/EndOfLog.
+    """
+
+
+class StaleEpoch(LogError):
+    """A server rejected an operation carrying an out-of-date epoch."""
+
+    def __init__(self, server_id: str, epoch: int, current: int):
+        super().__init__(
+            f"server {server_id!r} rejected epoch {epoch} (current epoch {current})"
+        )
+        self.server_id = server_id
+        self.epoch = epoch
+        self.current = current
+
+
+class ProtocolError(LogError):
+    """A malformed or out-of-contract message reached the transport layer."""
+
+
+class CrashedError(LogError):
+    """An operation was attempted on a crashed node."""

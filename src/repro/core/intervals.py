@@ -1,0 +1,205 @@
+"""Interval lists and the interval-merge rule of Section 3.1.2.
+
+Log servers group the records they store for a client into *intervals*:
+maximal runs of consecutive LSNs sharing one epoch number
+(Section 3.1.1).  An interval is described by three integers — the
+epoch, the low LSN, and the high LSN — which is exactly what the
+``IntervalList`` server operation returns.
+
+Client initialization gathers interval lists from at least ``M − N + 1``
+servers and merges them, keeping, for each LSN, only the entries with
+the highest epoch number.  The merged list answers ``EndOfLog`` (its
+highest LSN) and routes every subsequent ``ReadLog`` to a server known
+to store the record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .records import Epoch, LSN
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A maximal run of consecutive LSNs in one epoch on one server.
+
+    The ordering (epoch, lo, hi) makes lists of intervals sort into the
+    order servers write them, since servers write non-decreasing LSNs
+    and non-decreasing epochs.
+    """
+
+    epoch: Epoch
+    lo: LSN
+    hi: LSN
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"interval lo {self.lo} > hi {self.hi}")
+        if self.lo < 1 or self.epoch < 1:
+            raise ValueError("interval LSNs and epochs start at 1")
+
+    def __contains__(self, lsn: LSN) -> bool:
+        return self.lo <= lsn <= self.hi
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def lsns(self) -> range:
+        """Iterate the LSNs covered by this interval."""
+        return range(self.lo, self.hi + 1)
+
+    def extend(self) -> "Interval":
+        """Return this interval grown by one record at the high end."""
+        return Interval(self.epoch, self.lo, self.hi + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class ServerIntervals:
+    """The interval list one server reports, tagged with its identity."""
+
+    server_id: str
+    intervals: tuple[Interval, ...]
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+
+@dataclass(frozen=True, slots=True)
+class MergedEntry:
+    """One LSN's winning entry after an interval merge.
+
+    ``servers`` lists every server holding the record *at the winning
+    epoch*; ReadLog may be directed at any one of them (the algorithm
+    needs only one because replicas of a given ⟨LSN, epoch⟩ are
+    identical).
+    """
+
+    lsn: LSN
+    epoch: Epoch
+    servers: tuple[str, ...]
+
+
+class MergedIntervalMap:
+    """The client's cached read-routing table (Section 3.1.2).
+
+    Built from the interval lists of the servers contacted during
+    client initialization, then updated incrementally as WriteLog sends
+    new records.  For each LSN it records the winning (highest) epoch
+    and the servers storing that version.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[LSN, MergedEntry] = {}
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def merge(cls, reports: Iterable[ServerIntervals]) -> "MergedIntervalMap":
+        """Merge server interval lists, keeping highest-epoch entries.
+
+        "In merging the interval lists, only the entries with the
+        highest epoch number for a particular LSN are kept."
+        """
+        merged = cls()
+        for report in reports:
+            for interval in report:
+                for lsn in interval.lsns():
+                    merged.note(lsn, interval.epoch, report.server_id)
+        return merged
+
+    def note(self, lsn: LSN, epoch: Epoch, server_id: str) -> None:
+        """Record that ``server_id`` stores ``⟨lsn, epoch⟩``.
+
+        A higher epoch replaces a lower one; an equal epoch adds the
+        server as an additional read site; a lower epoch is ignored.
+        """
+        cur = self._entries.get(lsn)
+        if cur is None or epoch > cur.epoch:
+            self._entries[lsn] = MergedEntry(lsn, epoch, (server_id,))
+        elif epoch == cur.epoch and server_id not in cur.servers:
+            self._entries[lsn] = MergedEntry(
+                lsn, epoch, cur.servers + (server_id,)
+            )
+
+    def forget_server(self, server_id: str) -> None:
+        """Drop a failed server from every entry's read-site set.
+
+        Entries whose only known copy was on that server keep an empty
+        server tuple; reads of those LSNs raise until the client
+        re-initializes against a fresh quorum.
+        """
+        for lsn, entry in list(self._entries.items()):
+            if server_id in entry.servers:
+                remaining = tuple(s for s in entry.servers if s != server_id)
+                self._entries[lsn] = MergedEntry(lsn, entry.epoch, remaining)
+
+    # -- queries ------------------------------------------------------
+
+    def __contains__(self, lsn: LSN) -> bool:
+        return lsn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, lsn: LSN) -> MergedEntry | None:
+        return self._entries.get(lsn)
+
+    def servers_for(self, lsn: LSN) -> tuple[str, ...]:
+        """Servers known to hold the winning version of ``lsn``."""
+        entry = self._entries.get(lsn)
+        return entry.servers if entry is not None else ()
+
+    def epoch_of(self, lsn: LSN) -> Epoch | None:
+        entry = self._entries.get(lsn)
+        return entry.epoch if entry is not None else None
+
+    def high_lsn(self) -> LSN | None:
+        """The highest merged LSN — the EndOfLog answer, or None if empty."""
+        if not self._entries:
+            return None
+        return max(self._entries)
+
+    def highest_epoch(self) -> Epoch:
+        """The highest epoch appearing anywhere in the merged map."""
+        if not self._entries:
+            return 0
+        return max(e.epoch for e in self._entries.values())
+
+    def lsns(self) -> list[LSN]:
+        """All merged LSNs in increasing order."""
+        return sorted(self._entries)
+
+    def gaps(self) -> list[LSN]:
+        """LSNs missing between 1 and ``high_lsn`` (diagnostic aid).
+
+        A correctly maintained replicated log has no gaps; recovery
+        tests use this to assert the invariant.
+        """
+        high = self.high_lsn()
+        if high is None:
+            return []
+        return [lsn for lsn in range(1, high + 1) if lsn not in self._entries]
+
+
+def intervals_from_lsns(
+    pairs: Iterable[tuple[LSN, Epoch]]
+) -> tuple[Interval, ...]:
+    """Compress ``(lsn, epoch)`` pairs into maximal intervals.
+
+    Input pairs may arrive in any order; the result is sorted by
+    (epoch, lo).  Used by the server store to build IntervalList
+    responses and by tests to state expectations compactly.
+    """
+    ordered = sorted(set(pairs), key=lambda p: (p[1], p[0]))
+    out: list[Interval] = []
+    for lsn, epoch in ordered:
+        if out and out[-1].epoch == epoch and out[-1].hi == lsn - 1:
+            out[-1] = out[-1].extend()
+        else:
+            out.append(Interval(epoch, lsn, lsn))
+    return tuple(out)

@@ -1,0 +1,139 @@
+"""Value types for log records and their on-server representation.
+
+The paper distinguishes two views of a log record:
+
+* the *replicated-log* view seen by the transaction system — a
+  ``⟨LSN, data⟩`` pair (Section 3.1); and
+* the *server* view — data plus an epoch number and a boolean present
+  flag, uniquely identified by ``⟨LSN, epoch⟩`` (Section 3.1.1).
+
+Both are modelled here as small frozen dataclasses.  LSNs and epoch
+numbers are plain ``int``; type aliases document intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Log Sequence Number — increasing integers assigned by WriteLog.
+LSN = int
+
+#: Epoch number — non-decreasing integers; all records written between
+#: two client restarts carry the same epoch (Section 3.1.1).
+Epoch = int
+
+#: First LSN a fresh replicated log assigns.
+FIRST_LSN: LSN = 1
+
+#: First epoch a fresh client uses.
+FIRST_EPOCH: Epoch = 1
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """A record as seen by users of the replicated log.
+
+    ``data`` is opaque to the logging layer; its content depends on the
+    client's recovery algorithm.  ``kind`` is an optional label used by
+    the recovery manager (redo/undo/commit/checkpoint) and by the
+    workload generators; the log itself never interprets it.
+    """
+
+    lsn: LSN
+    data: bytes
+    kind: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.lsn < FIRST_LSN:
+            raise ValueError(f"LSN must be >= {FIRST_LSN}, got {self.lsn}")
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes (used by packing and capacity models)."""
+        return len(self.data)
+
+
+@dataclass(frozen=True, slots=True)
+class StoredRecord:
+    """A record as stored by a log server (Section 3.1.1).
+
+    A stored record is uniquely identified by its ``(lsn, epoch)`` pair.
+    When ``present`` is false no log data need be stored; such records
+    are written by the client-restart procedure to mask partially
+    written records.
+    """
+
+    lsn: LSN
+    epoch: Epoch
+    present: bool = True
+    data: bytes = b""
+    kind: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.lsn < FIRST_LSN:
+            raise ValueError(f"LSN must be >= {FIRST_LSN}, got {self.lsn}")
+        if self.epoch < FIRST_EPOCH:
+            raise ValueError(f"epoch must be >= {FIRST_EPOCH}, got {self.epoch}")
+        if not self.present and self.data:
+            raise ValueError("a not-present record must not carry data")
+
+    @property
+    def key(self) -> tuple[LSN, Epoch]:
+        """The unique ``(lsn, epoch)`` identity of this stored record."""
+        return (self.lsn, self.epoch)
+
+    def to_log_record(self) -> LogRecord:
+        """Project the replicated-log view (drops epoch and present flag)."""
+        return LogRecord(lsn=self.lsn, data=self.data, kind=self.kind)
+
+
+@dataclass(slots=True)
+class RecordBatch:
+    """A group of consecutive records travelling in one message.
+
+    Section 4.2 requires the client interface to "transfer multiple log
+    records in each network message".  A batch carries records with
+    consecutive LSNs and a single epoch, which is what the WriteLog /
+    ForceLog / CopyLog messages of Figure 4-1 transmit.
+    """
+
+    epoch: Epoch
+    records: list[StoredRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._check_consecutive()
+
+    def _check_consecutive(self) -> None:
+        for prev, cur in zip(self.records, self.records[1:]):
+            if cur.lsn != prev.lsn + 1:
+                raise ValueError(
+                    f"batch LSNs must be consecutive: {prev.lsn} then {cur.lsn}"
+                )
+        for rec in self.records:
+            if rec.epoch != self.epoch:
+                raise ValueError(
+                    f"record epoch {rec.epoch} differs from batch epoch {self.epoch}"
+                )
+
+    @property
+    def low_lsn(self) -> LSN:
+        if not self.records:
+            raise ValueError("empty batch has no low LSN")
+        return self.records[0].lsn
+
+    @property
+    def high_lsn(self) -> LSN:
+        if not self.records:
+            raise ValueError("empty batch has no high LSN")
+        return self.records[-1].lsn
+
+    @property
+    def byte_size(self) -> int:
+        """Total payload bytes in the batch."""
+        return sum(len(r.data) for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

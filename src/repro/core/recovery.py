@@ -1,0 +1,171 @@
+"""Client initialization (crash recovery) for replicated logs.
+
+Section 3.1.2 and the CopyLog/InstallCopies calls of Section 4.2 define
+the procedure a client node runs at restart:
+
+1. gather interval lists from at least ``M − N + 1`` log servers and
+   merge them, keeping the highest-epoch entry per LSN;
+2. obtain a new epoch number from the replicated identifier generator;
+3. copy the most recent ``δ`` log records — the only ones that can have
+   been partially written — to ``N`` servers under the new epoch,
+   preserving their present flags;
+4. append ``δ`` guard records marked *not present* at the next ``δ``
+   LSNs, so any partially written record at those LSNs loses every
+   future interval-list merge to the higher-epoch guard; and
+5. atomically install the staged copies with InstallCopies.
+
+The procedure is restartable: a crash at any point leaves only staged
+(uninstalled) records or a fully installed higher epoch, and the next
+restart repeats the procedure with a yet-higher epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import NotEnoughServers, ServerUnavailable
+from .intervals import MergedIntervalMap, ServerIntervals
+from .ports import ServerPort
+from .records import Epoch, LSN, StoredRecord
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryResult:
+    """Outcome of client initialization."""
+
+    merged: MergedIntervalMap
+    epoch: Epoch
+    #: the LSN the next WriteLog will assign (merged high + 1, where the
+    #: merged map already includes the guard records).
+    next_lsn: LSN
+    #: servers that hold the installed copies; a good initial write set.
+    write_set: tuple[str, ...]
+    #: number of records (copies + guards) rewritten during recovery.
+    records_copied: int
+    #: servers that contributed interval lists.
+    init_servers: tuple[str, ...]
+
+
+def gather_interval_lists(
+    ports: dict[str, ServerPort], client_id: str, quorum: int,
+) -> list[ServerIntervals]:
+    """Collect interval lists from every reachable server.
+
+    Raises :class:`NotEnoughServers` when fewer than ``quorum``
+    (``M − N + 1``) servers respond — the condition under which the
+    paper says client initialization is unavailable.
+    """
+    responses: list[ServerIntervals] = []
+    for port in ports.values():
+        try:
+            responses.append(port.interval_list(client_id))
+        except ServerUnavailable:
+            continue
+    if len(responses) < quorum:
+        raise NotEnoughServers(
+            f"client initialization needs interval lists from {quorum} "
+            f"servers; only {len(responses)} responded"
+        )
+    return responses
+
+
+def _read_record_for_copy(
+    ports: dict[str, ServerPort],
+    client_id: str,
+    merged: MergedIntervalMap,
+    lsn: LSN,
+) -> StoredRecord:
+    """Fetch the winning copy of ``lsn`` from some server storing it."""
+    last_error: ServerUnavailable | None = None
+    for server_id in merged.servers_for(lsn):
+        port = ports.get(server_id)
+        if port is None:
+            continue
+        try:
+            return port.server_read_log(client_id, lsn)
+        except ServerUnavailable as exc:
+            last_error = exc
+    raise NotEnoughServers(
+        f"no reachable server stores LSN {lsn} needed for recovery"
+    ) from last_error
+
+
+def perform_recovery(
+    client_id: str,
+    ports: dict[str, ServerPort],
+    interval_lists: list[ServerIntervals],
+    new_epoch: Epoch,
+    copies: int,
+    delta: int,
+    preferred_servers: tuple[str, ...] = (),
+) -> RecoveryResult:
+    """Run steps 3–5 of the restart procedure and return the new state.
+
+    ``interval_lists`` must already satisfy the init quorum (see
+    :func:`gather_interval_lists`).  ``preferred_servers`` biases the
+    choice of the ``N`` copy targets, letting a client stay with the
+    servers it used before the crash so interval lists stay short.
+    """
+    merged = MergedIntervalMap.merge(interval_lists)
+    high = merged.high_lsn() or 0
+
+    # Records to copy: the most recent δ records that exist, present
+    # flag preserved.  (With fewer than δ records in the log, copy all.)
+    copy_lsns = [lsn for lsn in range(max(1, high - delta + 1), high + 1)
+                 if lsn in merged]
+    to_copy = [
+        _read_record_for_copy(ports, client_id, merged, lsn)
+        for lsn in copy_lsns
+    ]
+    guards = [
+        StoredRecord(lsn=high + i, epoch=new_epoch, present=False, kind="guard")
+        for i in range(1, delta + 1)
+    ]
+
+    staged_records = [
+        StoredRecord(lsn=r.lsn, epoch=new_epoch, present=r.present,
+                     data=r.data, kind=r.kind)
+        for r in to_copy
+    ] + guards
+
+    # Choose N servers, stage everything on each, then install.  A
+    # server failing at any point is skipped entirely; records staged
+    # there are never installed (the epoch is never reused, so the
+    # remnants are inert).
+    ordered = list(preferred_servers) + [
+        s for s in sorted(ports) if s not in preferred_servers
+    ]
+    installed_on: list[str] = []
+    for server_id in ordered:
+        if len(installed_on) >= copies:
+            break
+        port = ports.get(server_id)
+        if port is None:
+            continue
+        try:
+            for record in staged_records:
+                port.copy_log(client_id, record.lsn, record.epoch,
+                              record.present, record.data, record.kind)
+            port.install_copies(client_id, new_epoch)
+        except ServerUnavailable:
+            continue
+        installed_on.append(server_id)
+
+    if len(installed_on) < copies:
+        raise NotEnoughServers(
+            f"recovery could install copies on only {len(installed_on)} "
+            f"servers; {copies} required"
+        )
+
+    for record in staged_records:
+        for server_id in installed_on:
+            merged.note(record.lsn, new_epoch, server_id)
+
+    return RecoveryResult(
+        merged=merged,
+        epoch=new_epoch,
+        next_lsn=(merged.high_lsn() or 0) + 1,
+        write_set=tuple(installed_on),
+        records_copied=len(staged_records),
+        init_servers=tuple(r.server_id for r in interval_lists),
+    )

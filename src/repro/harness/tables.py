@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows/series the paper reports in a fixed-width
+table so ``pytest benchmarks/ --benchmark-only`` output can be compared
+with the paper's figures directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a rule under the header."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+
+
+def fmt_prob(value: float, digits: int = 6) -> str:
+    """Format an availability probability like the paper's 0.999 style."""
+    return f"{value:.{digits}f}"
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    return f"{100 * value:.{digits}f}%"

@@ -1,0 +1,85 @@
+"""Simulated LAN and the Figure 4-1 log-server protocol (Section 4.2).
+
+* :mod:`repro.net.lan` — shared-medium networks, dual-network
+  redundancy, multicast;
+* :mod:`repro.net.packet` — single-packet framing with transport
+  headers;
+* :mod:`repro.net.transport` — Watson-style connections: three-way
+  handshake, permanently unique sequence numbers, moving-window
+  allocations;
+* :mod:`repro.net.messages` — the WriteLog / ForceLog / NewInterval /
+  NewHighLSN / MissingInterval / IntervalList / ReadLogForward /
+  ReadLogBackward / CopyLog / InstallCopies message set;
+* :mod:`repro.net.rpc` — strict RPCs for the infrequent synchronous
+  calls.
+"""
+
+from .lan import DualLan, Lan
+from .messages import (
+    AckReply,
+    CopyLogCall,
+    ErrorReply,
+    ForceLogMsg,
+    InstallCopiesCall,
+    IntervalListCall,
+    IntervalListReply,
+    Message,
+    MissingIntervalMsg,
+    NewHighLSNMsg,
+    NewIntervalMsg,
+    ReadLogBackwardCall,
+    ReadLogForwardCall,
+    ReadLogReply,
+    WriteLogMsg,
+)
+from .packet import (
+    PACKET_HEADER_BYTES,
+    PACKET_MTU_BYTES,
+    PACKET_PAYLOAD_BYTES,
+    Packet,
+    fits_in_packet,
+)
+from .rpc import RpcClient, RpcReply, RpcRequest, serve_rpc
+from .transport import (
+    DEFAULT_WINDOW,
+    HANDSHAKE_ATTEMPTS,
+    HANDSHAKE_TIMEOUT_S,
+    OVERRIDE_PAUSE_S,
+    Connection,
+    Endpoint,
+)
+
+__all__ = [
+    "AckReply",
+    "Connection",
+    "CopyLogCall",
+    "DEFAULT_WINDOW",
+    "DualLan",
+    "Endpoint",
+    "ErrorReply",
+    "ForceLogMsg",
+    "HANDSHAKE_ATTEMPTS",
+    "HANDSHAKE_TIMEOUT_S",
+    "InstallCopiesCall",
+    "IntervalListCall",
+    "IntervalListReply",
+    "Lan",
+    "Message",
+    "MissingIntervalMsg",
+    "NewHighLSNMsg",
+    "NewIntervalMsg",
+    "OVERRIDE_PAUSE_S",
+    "PACKET_HEADER_BYTES",
+    "PACKET_MTU_BYTES",
+    "PACKET_PAYLOAD_BYTES",
+    "Packet",
+    "ReadLogBackwardCall",
+    "ReadLogForwardCall",
+    "ReadLogReply",
+    "RpcClient",
+    "RpcReply",
+    "RpcRequest",
+    "WriteLogMsg",
+    "fits_in_packet",
+    "serve_rpc",
+]

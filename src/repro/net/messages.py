@@ -1,0 +1,253 @@
+"""The client ↔ log-server message set of Figure 4-1 (Section 4.2).
+
+Asynchronous messages from client to log server::
+
+    WriteLog(ClientId, EpochNum, LSNs, LogRecords)
+    ForceLog(ClientId, EpochNum, LSNs, LogRecords)
+    NewInterval(ClientId, EpochNum, StartingLSN)
+
+Asynchronous messages from log server to client::
+
+    NewHighLSN(NewHighLSN)
+    MissingInterval(MissingInterval)
+
+Synchronous calls from client to log server::
+
+    IntervalList(ClientId) -> IntervalList
+    ReadLogForward(ClientId, LSN) -> LSNs, LogRecords, PresentFlags
+    ReadLogBackward(ClientId, LSN) -> LSNs, LogRecords, PresentFlags
+    CopyLog(ClientId, EpochNum, LSNs, LogRecords, PresentFlags)
+    InstallCopies(ClientId, EpochNum)
+
+All messages are small frozen dataclasses with a ``wire_size`` so the
+LAN model can charge transmission time.  Multi-record messages carry
+consecutive LSNs ("client processes and log servers attempt to pack as
+many log records as will fit in a network packet in each call").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.intervals import Interval
+from ..core.records import Epoch, LSN, StoredRecord
+
+#: Per-record wire overhead: LSN, epoch, flags, length.
+RECORD_HEADER_BYTES = 16
+#: Fixed message overhead: type, client id, epoch, counts.
+MESSAGE_HEADER_BYTES = 32
+
+
+def records_wire_size(records: tuple[StoredRecord, ...]) -> int:
+    return sum(RECORD_HEADER_BYTES + len(r.data) for r in records)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base for all protocol messages."""
+
+    client_id: str
+
+    @property
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES
+
+
+def _check_consecutive(records: tuple[StoredRecord, ...], epoch: Epoch) -> None:
+    for prev, cur in zip(records, records[1:]):
+        if cur.lsn != prev.lsn + 1:
+            raise ValueError(
+                f"message records must have consecutive LSNs: "
+                f"{prev.lsn} then {cur.lsn}"
+            )
+    for rec in records:
+        if rec.epoch != epoch:
+            raise ValueError(
+                f"record epoch {rec.epoch} differs from message epoch {epoch}"
+            )
+
+
+# -- asynchronous, client -> server ---------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class WriteLogMsg(Message):
+    """Buffered write: no acknowledgment requested."""
+
+    epoch: Epoch = 0
+    records: tuple[StoredRecord, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("WriteLog carries at least one record")
+        _check_consecutive(self.records, self.epoch)
+
+    @property
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + records_wire_size(self.records)
+
+    @property
+    def low_lsn(self) -> LSN:
+        return self.records[0].lsn
+
+    @property
+    def high_lsn(self) -> LSN:
+        return self.records[-1].lsn
+
+
+@dataclass(frozen=True, slots=True)
+class ForceLogMsg(WriteLogMsg):
+    """Write requiring an immediate NewHighLSN acknowledgment.
+
+    "A client writes log records with the ForceLog message when it
+    needs an immediate acknowledgment, and with the WriteLog message
+    when it does not."
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class NewIntervalMsg(Message):
+    """Tell the server to start a new interval at ``starting_lsn``.
+
+    Sent in response to MissingInterval when the missing records were
+    already written elsewhere (the client switched servers).
+    """
+
+    epoch: Epoch = 0
+    starting_lsn: LSN = 1
+
+
+# -- asynchronous, server -> client ---------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class NewHighLSNMsg(Message):
+    """Acknowledgment: all records up to ``new_high_lsn`` are durable here.
+
+    ``client_id`` names the client whose log is acknowledged (the
+    server serves many clients over one transport endpoint).
+    """
+
+    new_high_lsn: LSN = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MissingIntervalMsg(Message):
+    """Negative acknowledgment: the server saw a gap ``[lo, hi]``.
+
+    "A server detects lost messages when it receives a ForceLog or
+    WriteLog message with log sequence numbers that are not contiguous
+    with those it has previously received from the same client."
+    """
+
+    lo: LSN = 0
+    hi: LSN = 0
+
+
+# -- synchronous calls -------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalListCall(Message):
+    """Request the server's interval list for this client."""
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalListReply(Message):
+    intervals: tuple[Interval, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        # three integers per interval, as the paper counts them
+        return MESSAGE_HEADER_BYTES + 12 * len(self.intervals)
+
+
+@dataclass(frozen=True, slots=True)
+class ReadLogForwardCall(Message):
+    """Read records with LSNs >= ``lsn``, as many as fit in a packet."""
+
+    lsn: LSN = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ReadLogBackwardCall(Message):
+    """Read records with LSNs <= ``lsn``, as many as fit in a packet."""
+
+    lsn: LSN = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ReadLogReply(Message):
+    """Records with present flags; empty if the server stores none."""
+
+    records: tuple[StoredRecord, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + records_wire_size(self.records)
+
+
+@dataclass(frozen=True, slots=True)
+class CopyLogCall(Message):
+    """Stage recovery copies (accepted below the high-water mark)."""
+
+    epoch: Epoch = 0
+    records: tuple[StoredRecord, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("CopyLog carries at least one record")
+        for rec in self.records:
+            if rec.epoch != self.epoch:
+                raise ValueError("CopyLog records must carry the call epoch")
+
+    @property
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + records_wire_size(self.records)
+
+
+@dataclass(frozen=True, slots=True)
+class InstallCopiesCall(Message):
+    """Atomically install all records staged under ``epoch``."""
+
+    epoch: Epoch = 0
+
+
+@dataclass(frozen=True, slots=True)
+class AckReply(Message):
+    """Generic success reply for CopyLog / InstallCopies."""
+
+    ok: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorReply(Message):
+    """Generic failure reply for synchronous calls."""
+
+    reason: str = ""
+
+
+# -- Appendix I: generator-state representative calls --------------------------
+#
+# "Representatives of a replicated identifier generator's state will
+# normally be implemented on log server nodes" — so the Read and Write
+# operations of Appendix I travel over the same connections as the log
+# traffic.  ``client_id`` is unused (the generator is a node-level
+# service) but kept for the common message shape.
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorReadCall(Message):
+    """Read the representative's stored integer."""
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorReadReply(Message):
+    value: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorWriteCall(Message):
+    """Write a (higher) integer to the representative."""
+
+    value: int = 0

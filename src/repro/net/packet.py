@@ -1,0 +1,61 @@
+"""Packet framing for the simulated LAN.
+
+"Simple, error free RPCs should be performed using only a single packet
+for each request and reply" (Section 4.1).  The packet carries one
+protocol message plus the transport header Watson-style connections
+need: permanently unique sequence numbers and a window allocation
+("an allocation inserted in every packet specifies the highest sequence
+number the other party is permitted to send without waiting").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Maximum transmission unit of the modelled LAN.
+PACKET_MTU_BYTES = 1500
+#: Transport + link header: addresses, connection id, sequence number,
+#: allocation, checksum.
+PACKET_HEADER_BYTES = 64
+#: Payload budget for log records and replies.
+PACKET_PAYLOAD_BYTES = PACKET_MTU_BYTES - PACKET_HEADER_BYTES
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One frame on the wire."""
+
+    src: str
+    dst: str
+    #: connection identifier (unique per handshake instance).
+    conn_id: int
+    #: per-connection sequence number; with the conn_id it is
+    #: permanently unique, so duplicates are detectable across crashes.
+    seq: int
+    #: flow-control allocation: highest seq the receiver grants the
+    #: other party.
+    allocation: int
+    #: protocol message, or a transport control marker (SYN/SYNACK/ACK).
+    payload: Any
+    #: kind tag: "data" | "syn" | "synack" | "ack".
+    kind: str = "data"
+    #: globally unique frame id (diagnostics; re-used by duplicates).
+    frame_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def wire_size(self) -> int:
+        payload_size = getattr(self.payload, "wire_size", 0)
+        return PACKET_HEADER_BYTES + payload_size
+
+    def duplicate(self) -> "Packet":
+        """A byte-identical duplicate (same frame id) for dup injection."""
+        return self
+
+
+def fits_in_packet(payload_size: int) -> bool:
+    """Whether a payload of ``payload_size`` bytes fits in one packet."""
+    return payload_size <= PACKET_PAYLOAD_BYTES

@@ -1,0 +1,123 @@
+"""Synchronous remote procedure calls over a connection.
+
+"The interface presented here includes strict RPCs for infrequently
+used operations, such as for reading log records, and asynchronous
+messages for writing and acknowledging log records" (Section 4.2).
+
+The RPC layer is a thin envelope: each request carries an id, the reply
+echoes it.  Error recovery is timeout + bounded retry; an exhausted
+budget surfaces as :class:`~repro.core.errors.ServerUnavailable`, which
+the replication algorithm treats as that server being down.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from ..core.errors import ServerUnavailable
+from ..sim.kernel import Simulator
+from .transport import Connection
+
+_rpc_ids = itertools.count(1)
+
+DEFAULT_RPC_TIMEOUT_S = 0.5
+DEFAULT_RPC_RETRIES = 2
+
+
+@dataclass(frozen=True, slots=True)
+class RpcRequest:
+    rpc_id: int
+    body: Any
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + getattr(self.body, "wire_size", 0)
+
+
+@dataclass(frozen=True, slots=True)
+class RpcReply:
+    rpc_id: int
+    body: Any
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + getattr(self.body, "wire_size", 0)
+
+
+class RpcClient:
+    """Issues synchronous calls over one connection.
+
+    The owner must pump :meth:`dispatch` with every inbound message it
+    drains that is an :class:`RpcReply` (the client node's receive loop
+    handles both RPC replies and asynchronous server messages on the
+    same connection, so demux lives with the owner).
+    """
+
+    def __init__(self, sim: Simulator, conn: Connection):
+        self.sim = sim
+        self.conn = conn
+        self._pending: dict[int, Any] = {}
+        self.calls = 0
+        self.retries = 0
+
+    def dispatch(self, reply: RpcReply) -> bool:
+        """Route an inbound reply to its waiting caller.
+
+        Returns True if the reply matched a pending call (duplicates
+        and stale replies return False and are dropped).
+        """
+        waiter = self._pending.pop(reply.rpc_id, None)
+        if waiter is None or waiter.triggered:
+            return False
+        waiter.succeed(reply.body)
+        return True
+
+    def call(
+        self,
+        body: Any,
+        timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+        retries: int = DEFAULT_RPC_RETRIES,
+    ) -> Generator:
+        """Perform one synchronous call; ``yield from`` me; returns the reply.
+
+        Retransmits the request on timeout (same rpc_id, so a duplicated
+        reply is idempotent), then gives up with ServerUnavailable.
+        """
+        rpc_id = next(_rpc_ids)
+        request = RpcRequest(rpc_id, body)
+        self.calls += 1
+        for attempt in range(retries + 1):
+            waiter = self.sim.event(f"rpc-{rpc_id}")
+            self._pending[rpc_id] = waiter
+            yield from self.conn.send(request)
+            result = yield self.sim.any_of(
+                [waiter, self.sim.timeout(timeout_s)]
+            )
+            if waiter.triggered:
+                return result
+            self._pending.pop(rpc_id, None)
+            if attempt < retries:
+                self.retries += 1
+        raise ServerUnavailable(self.conn.remote_id, "rpc timed out")
+
+
+def serve_rpc(
+    sim: Simulator,
+    conn: Connection,
+    handler: Callable[[Any], Generator],
+):
+    """Serve RPC requests arriving on ``conn``; run as a process.
+
+    ``handler(body)`` is a generator (so it can charge CPU and disk
+    time) returning the reply body.  Non-RPC messages are ignored here;
+    servers that mix asynchronous traffic run their own loop instead
+    and call the handler directly.
+    """
+    while True:
+        message = yield conn.inbox.get()
+        if not isinstance(message, RpcRequest):
+            continue
+        reply_body = yield from handler(message.body)
+        yield from conn.send(RpcReply(message.rpc_id, reply_body))

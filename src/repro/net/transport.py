@@ -1,0 +1,308 @@
+"""Watson-style connections: handshake, sequencing, flow control.
+
+Section 4.2, following Watson's tutorial: "To establish communication
+with a log server, a client initiates a three way handshake.  Both
+client and server then maintain a small amount of state while the
+connection is active.  This allows packets to contain permanently
+unique sequence numbers, and permits duplicate packets to be detected
+even across a crash of the receiving node.  All calls participate in a
+moving window flow control strategy at the packet level."
+
+Design points taken straight from the paper:
+
+* **Permanently unique sequence numbers** — every handshake mints a
+  fresh connection id from a global incarnation counter, and sequence
+  numbers are per-connection; a (conn_id, seq) pair is never reused, so
+  duplicates are detectable even across a crash of the receiver.
+* **Moving-window allocations** — every packet carries the highest
+  sequence number the sender grants its peer; a sender out of
+  allocation waits, unless it has paused ``override_pause_s`` since its
+  last packet, in which case it may exceed the allocation (the paper's
+  deadlock-prevention rule).
+* **No transport-level retransmission of data** — per the end-to-end
+  argument, loss recovery belongs to the log protocol itself
+  (ForceLog retries, MissingInterval NAKs).  The transport only
+  sequences, deduplicates, and flow-controls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from ..core.errors import ServerUnavailable
+from ..sim.kernel import Event, Interrupt, Simulator
+from ..sim.resources import Channel
+from .packet import Packet
+
+#: Receive window, in packets, granted to a peer.
+DEFAULT_WINDOW = 64
+#: Pause after which a sender may exceed its allocation (the paper says
+#: "several seconds").
+OVERRIDE_PAUSE_S = 3.0
+#: Handshake retry interval and attempt budget.
+HANDSHAKE_TIMEOUT_S = 0.5
+HANDSHAKE_ATTEMPTS = 3
+
+_incarnations = itertools.count(1)
+
+
+class Connection:
+    """One direction-symmetric connection between two endpoints."""
+
+    def __init__(self, endpoint: "Endpoint", local_conn_id: int,
+                 remote_id: str, remote_conn_id: int):
+        self.endpoint = endpoint
+        self.sim = endpoint.sim
+        self.conn_id = local_conn_id
+        self.remote_id = remote_id
+        self.remote_conn_id = remote_conn_id
+        self.inbox: Channel = Channel(self.sim, name=f"conn{local_conn_id}.inbox")
+        self.inbox.consume_hook = self._on_consumed
+        # send side
+        self._next_seq = 1
+        self._peer_allocation = DEFAULT_WINDOW
+        self._last_send_time = -OVERRIDE_PAUSE_S
+        self._alloc_waiters: list[Event] = []
+        # receive side
+        self._delivered_through = 0  # cumulative in-order high mark
+        self._seen_out_of_order: set[int] = set()
+        self._granted = DEFAULT_WINDOW
+        self.open = True
+        # stats
+        self.sent_packets = 0
+        self.received_packets = 0
+        self.duplicate_packets = 0
+        self.allocation_stalls = 0
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, message: Any):
+        """Send one message; ``yield from`` me.
+
+        Blocks while out of allocation, up to the override pause, then
+        proceeds anyway (at most one packet per pause interval), which
+        prevents window deadlock after a lost window update.
+        """
+        while self._next_seq > self._peer_allocation and self.open:
+            since_last = self.sim.now - self._last_send_time
+            if since_last >= OVERRIDE_PAUSE_S:
+                break  # allowed to exceed allocation after the pause
+            self.allocation_stalls += 1
+            waiter = self.sim.event("alloc-wait")
+            self._alloc_waiters.append(waiter)
+            timeout = self.sim.timeout(OVERRIDE_PAUSE_S - since_last)
+            yield self.sim.any_of([waiter, timeout])
+        if not self.open:
+            raise ServerUnavailable(self.remote_id, "connection closed")
+        packet = Packet(
+            src=self.endpoint.node_id,
+            dst=self.remote_id,
+            conn_id=self.remote_conn_id,
+            seq=self._next_seq,
+            allocation=self._current_grant(),
+            payload=message,
+        )
+        self._next_seq += 1
+        self._last_send_time = self.sim.now
+        self.sent_packets += 1
+        yield from self.endpoint.network.send(packet)
+
+    def _current_grant(self) -> int:
+        """Allocation tracks what the application has *consumed*.
+
+        Granting on consumption (not mere delivery) is what makes the
+        window actually exert back-pressure on a sender outpacing the
+        receiving process.
+        """
+        self._granted = self.inbox.total_got + DEFAULT_WINDOW
+        return self._granted
+
+    # -- receiving (called by the endpoint's demux loop) --------------------
+
+    def handle(self, packet: Packet) -> None:
+        self._note_allocation(packet.allocation)
+        if packet.kind != "data":
+            return
+        seq = packet.seq
+        if seq <= self._delivered_through or seq in self._seen_out_of_order:
+            self.duplicate_packets += 1
+            return
+        if seq == self._delivered_through + 1:
+            self._delivered_through = seq
+            while self._delivered_through + 1 in self._seen_out_of_order:
+                self._delivered_through += 1
+                self._seen_out_of_order.remove(self._delivered_through)
+        else:
+            self._seen_out_of_order.add(seq)
+        self.received_packets += 1
+        self.inbox.put(packet.payload)
+
+    def _note_allocation(self, allocation: int) -> None:
+        if allocation > self._peer_allocation:
+            self._peer_allocation = allocation
+            waiters, self._alloc_waiters = self._alloc_waiters, []
+            for waiter in waiters:
+                if not waiter.triggered:
+                    waiter.succeed()
+
+    def _on_consumed(self) -> None:
+        """Grant fresh allocation when half the window has been consumed.
+
+        "Each party attempts to supply the other with unused allocation
+        at all times."  Updates piggyback on data packets; this sends a
+        bare allocation packet only when the grant is getting stale.
+        """
+        if not self.open:
+            return
+        if self.inbox.total_got + DEFAULT_WINDOW - self._granted < DEFAULT_WINDOW // 2:
+            return
+
+        def pump():
+            packet = Packet(
+                src=self.endpoint.node_id,
+                dst=self.remote_id,
+                conn_id=self.remote_conn_id,
+                seq=0,
+                allocation=self._current_grant(),
+                payload=None,
+                kind="ack",
+            )
+            yield from self.endpoint.network.send(packet)
+
+        self.endpoint.sim.spawn(pump(), name="window-update")
+
+    def close(self) -> None:
+        self.open = False
+        waiters, self._alloc_waiters = self._alloc_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+
+
+class Endpoint:
+    """One node's attachment to the network: demux + handshake engine."""
+
+    def __init__(self, sim: Simulator, network: Any, node_id: str):
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self._nics = self._attach(network, node_id)
+        self._connections: dict[int, Connection] = {}
+        self._pending_syn: dict[int, Event] = {}
+        #: (src, client_conn_id) -> local conn id; lets a retransmitted
+        #: SYN re-elicit the same SYNACK instead of minting an orphan
+        #: connection nobody accepts.
+        self._syn_table: dict[tuple[str, int], int] = {}
+        self.accept_queue: Channel = Channel(sim, name=f"{node_id}.accept")
+        self.crashed = False
+        self._demux_procs = [
+            sim.spawn(self._demux(nic), name=f"{node_id}.demux")
+            for nic in self._nics
+        ]
+
+    @staticmethod
+    def _attach(network: Any, node_id: str) -> list[Channel]:
+        attached = network.attach(node_id)
+        if isinstance(attached, tuple):
+            return list(attached)
+        return [attached]
+
+    # -- demultiplexing ------------------------------------------------------
+
+    def _demux(self, nic: Channel):
+        while True:
+            packet: Packet = yield nic.get()
+            if self.crashed:
+                continue  # a down node receives nothing
+            if packet.kind == "syn":
+                self._handle_syn(packet)
+            elif packet.kind == "synack":
+                waiter = self._pending_syn.pop(packet.conn_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(packet)
+            else:
+                conn = self._connections.get(packet.conn_id)
+                if conn is not None:
+                    conn.handle(packet)
+                # packets for unknown (stale) connections are dropped:
+                # this is exactly the cross-crash duplicate rejection the
+                # permanently unique connection ids buy us.
+
+    def _handle_syn(self, packet: Packet) -> None:
+        remote_conn_id = packet.payload  # client's conn id rides in the SYN
+        key = (packet.src, remote_conn_id)
+        existing = self._syn_table.get(key)
+        if existing is not None:
+            local_conn_id = existing  # duplicate SYN: re-acknowledge
+        else:
+            local_conn_id = next(_incarnations)
+            conn = Connection(self, local_conn_id, packet.src, remote_conn_id)
+            self._connections[local_conn_id] = conn
+            self._syn_table[key] = local_conn_id
+            self.accept_queue.put(conn)
+
+        def reply():
+            synack = Packet(
+                src=self.node_id, dst=packet.src,
+                conn_id=remote_conn_id, seq=0,
+                allocation=DEFAULT_WINDOW,
+                payload=local_conn_id, kind="synack",
+            )
+            yield from self.network.send(synack)
+
+        self.sim.spawn(reply(), name="synack")
+
+    # -- connecting -----------------------------------------------------------
+
+    def connect(self, remote_id: str):
+        """Three-way handshake; ``yield from`` me; returns a Connection.
+
+        Raises :class:`ServerUnavailable` after the attempt budget.
+        """
+        local_conn_id = next(_incarnations)
+        for _attempt in range(HANDSHAKE_ATTEMPTS):
+            syn = Packet(
+                src=self.node_id, dst=remote_id,
+                conn_id=0, seq=0, allocation=DEFAULT_WINDOW,
+                payload=local_conn_id, kind="syn",
+            )
+            waiter = self.sim.event("synack-wait")
+            self._pending_syn[local_conn_id] = waiter
+            yield from self.network.send(syn)
+            result = yield self.sim.any_of(
+                [waiter, self.sim.timeout(HANDSHAKE_TIMEOUT_S)]
+            )
+            if isinstance(result, Packet):
+                remote_conn_id = result.payload
+                conn = Connection(self, local_conn_id, remote_id, remote_conn_id)
+                self._connections[local_conn_id] = conn
+                # third leg of the handshake: a bare ack
+                ack = Packet(
+                    src=self.node_id, dst=remote_id,
+                    conn_id=remote_conn_id, seq=0,
+                    allocation=DEFAULT_WINDOW, payload=None, kind="ack",
+                )
+                yield from self.network.send(ack)
+                return conn
+            self._pending_syn.pop(local_conn_id, None)
+        raise ServerUnavailable(remote_id, "handshake timed out")
+
+    def accept(self):
+        """Wait for an inbound connection; ``yield from`` me."""
+        conn = yield self.accept_queue.get()
+        return conn
+
+    # -- crash lifecycle ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop all connection state; stop receiving until restart."""
+        self.crashed = True
+        for conn in self._connections.values():
+            conn.close()
+        self._connections.clear()
+        self._pending_syn.clear()
+        self._syn_table.clear()
+
+    def restart(self) -> None:
+        self.crashed = False

@@ -1,0 +1,65 @@
+"""Per-client protocol state kept by a log server.
+
+Beyond the durable record store, a server tracks for each client where
+the next contiguous record should land, so it can "detect lost messages
+when it receives a ForceLog or WriteLog message with log sequence
+numbers that are not contiguous with those it has previously received
+from the same client" and answer with MissingInterval (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.records import Epoch, LSN
+
+
+@dataclass(slots=True)
+class ClientProtocolState:
+    """Gap-detection and acknowledgment state for one client."""
+
+    client_id: str
+    #: next LSN the server will accept as contiguous; None means any
+    #: starting point is acceptable (fresh client or after NewInterval).
+    expected_lsn: LSN | None = None
+    #: epoch of the current open interval.
+    current_epoch: Epoch = 0
+    #: highest LSN stored and durable (in NVRAM or on disk) — the value
+    #: NewHighLSN acknowledgments carry.
+    acked_high: LSN = 0
+
+    def classify_batch(self, low: LSN, high: LSN, epoch: Epoch) -> str:
+        """How an incoming batch relates to the expected position.
+
+        Returns one of:
+
+        * ``"contiguous"`` — extends the open interval (or starts one);
+        * ``"duplicate"``  — entirely at or below what is stored;
+        * ``"overlap"``    — straddles the expected position (retransmit
+          with some new records at the tail);
+        * ``"gap"``        — starts beyond the expected position.
+        """
+        if self.expected_lsn is None:
+            return "contiguous"
+        if epoch != self.current_epoch:
+            # A new epoch always starts a new interval; recovery
+            # installs guard its position, so accept it.
+            return "contiguous"
+        if high < self.expected_lsn:
+            return "duplicate"
+        if low < self.expected_lsn <= high:
+            return "overlap"
+        if low == self.expected_lsn:
+            return "contiguous"
+        return "gap"
+
+    def note_stored(self, high: LSN, epoch: Epoch) -> None:
+        """Advance after storing records through ``high`` in ``epoch``."""
+        self.expected_lsn = high + 1
+        self.current_epoch = epoch
+        self.acked_high = max(self.acked_high, high)
+
+    def start_new_interval(self, starting_lsn: LSN, epoch: Epoch) -> None:
+        """Apply a NewInterval message: ignore the gap, accept from here."""
+        self.expected_lsn = starting_lsn
+        self.current_epoch = epoch

@@ -1,0 +1,131 @@
+"""The server's LSN → track index, built on the append-forest.
+
+Section 4.3: "a data structure that permits random access by log
+sequence number is needed … When an append forest is used to index a
+log server client's records, the keys will be ranges of log sequence
+numbers.  Each node of the append forest will contain pointers to each
+log record in its range."
+
+:class:`ClientLogIndex` maintains, per client, an append-forest whose
+keys are the LSN ranges of that client's records in each sealed track
+and whose entries are the track addresses.  The forest's strictly-
+increasing-keys contract meets reality in one place: crash recovery
+re-writes the last δ LSNs under a higher epoch, so the same LSN can
+appear again.  Those (rare) re-writes go into a small *overlay* map
+that read lookups consult first — the forest itself stays append-only
+and write-once-storage safe, exactly as the paper intends.
+
+:class:`ServerLogIndex` aggregates one :class:`ClientLogIndex` per
+client and subscribes to the stream's seal events, so the index is a
+pure function of the sealed tracks and can be rebuilt by scanning them
+after a crash (:meth:`rebuild`).
+"""
+
+from __future__ import annotations
+
+from ..core.records import LSN
+from ..storage.append_forest import AppendForest
+from ..storage.log_stream import DiskLogStream, StreamEntry
+from ..storage.pages import PageAddress
+
+
+class ClientLogIndex:
+    """One client's LSN → track-address index."""
+
+    def __init__(self, client_id: str):
+        self.client_id = client_id
+        self.forest = AppendForest()
+        #: LSNs re-written under a later epoch (recovery copies): the
+        #: winning location, consulted before the forest.
+        self.overlay: dict[LSN, PageAddress] = {}
+        self.records_indexed = 0
+
+    def note_records(
+        self, address: PageAddress, lsns: list[LSN]
+    ) -> None:
+        """Index this client's records from one sealed track.
+
+        ``lsns`` is in write order.  Fresh LSNs (above the forest's
+        high key) are grouped into maximal consecutive runs, each
+        appended as one range node; re-written LSNs go to the overlay.
+        """
+        fresh: list[LSN] = []
+        high = self.forest.high_key or 0
+        for lsn in lsns:
+            if lsn > high and (not fresh or lsn > fresh[-1]):
+                fresh.append(lsn)
+            else:
+                self.overlay[lsn] = address
+            self.records_indexed += 1
+        runs: list[tuple[LSN, LSN]] = []
+        for lsn in fresh:
+            if runs and lsn == runs[-1][1] + 1:
+                runs[-1] = (runs[-1][0], lsn)
+            else:
+                runs.append((lsn, lsn))
+        for lo, hi in runs:
+            self.forest.append(lo, hi, tuple([address] * (hi - lo + 1)))
+
+    def locate(self, lsn: LSN) -> PageAddress | None:
+        """The sealed track holding the winning copy of ``lsn``."""
+        found = self.overlay.get(lsn)
+        if found is not None:
+            return found
+        try:
+            return self.forest.search(lsn)
+        except KeyError:
+            return None
+
+
+class ServerLogIndex:
+    """All clients' indexes for one server, fed by stream seal events."""
+
+    def __init__(self):
+        self._clients: dict[str, ClientLogIndex] = {}
+        self.tracks_indexed = 0
+
+    def client(self, client_id: str) -> ClientLogIndex:
+        index = self._clients.get(client_id)
+        if index is None:
+            index = ClientLogIndex(client_id)
+            self._clients[client_id] = index
+        return index
+
+    def on_seal(self, address: PageAddress,
+                entries: tuple[StreamEntry, ...]) -> None:
+        """Stream callback: index every record in a sealed track.
+
+        Staged CopyLog entries are indexed like writes — once
+        installed, reads for their LSN should find the track that
+        physically holds the bytes.  Install markers carry no record.
+        """
+        per_client: dict[str, list[LSN]] = {}
+        for entry in entries:
+            if entry.record is None:
+                continue
+            per_client.setdefault(entry.client_id, []).append(entry.record.lsn)
+        for client_id, lsns in per_client.items():
+            self.client(client_id).note_records(address, lsns)
+        self.tracks_indexed += 1
+
+    def locate(self, client_id: str, lsn: LSN) -> PageAddress | None:
+        index = self._clients.get(client_id)
+        if index is None:
+            return None
+        return index.locate(lsn)
+
+    def rebuild(self, stream: DiskLogStream) -> None:
+        """Reconstruct the index by scanning the sealed tracks.
+
+        Used after a server crash: the index is volatile, the tracks
+        are not, and seal order (page address order) replays the exact
+        same note sequence as live operation did.
+        """
+        from ..storage.log_stream import Checkpoint
+
+        self._clients.clear()
+        self.tracks_indexed = 0
+        for address, entries in stream.pages.scan():
+            if isinstance(entries, Checkpoint):
+                continue  # in-stream checkpoint pages carry no records
+            self.on_seal(address, entries)

@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation substrate.
+
+The kernel (:mod:`repro.sim.kernel`) provides processes-as-generators
+over a virtual clock; :mod:`repro.sim.resources` adds FIFO resources
+with utilization tracking and message channels;
+:mod:`repro.sim.stats` the metric collectors; :mod:`repro.sim.rng`
+named seeded random streams; and :mod:`repro.sim.failures` crash/repair
+schedules for the availability experiments.
+"""
+
+from .failures import (
+    UpDownProcess,
+    bernoulli_outage_sample,
+    mttr_for_unavailability,
+    restore_all,
+    unavailability,
+)
+from .kernel import Event, Interrupt, Process, SimulationError, Simulator
+from .resources import Channel, Resource
+from .rng import RngRegistry
+from .stats import Counter, LatencySample, MetricSet, TimeWeighted
+
+__all__ = [
+    "Channel",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "LatencySample",
+    "MetricSet",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "TimeWeighted",
+    "UpDownProcess",
+    "bernoulli_outage_sample",
+    "mttr_for_unavailability",
+    "restore_all",
+    "unavailability",
+]

@@ -1,0 +1,332 @@
+"""A deterministic discrete-event simulation kernel.
+
+All timing results in this reproduction come from simulated time, not
+wall-clock threads: processes are Python generators that ``yield``
+events, and the kernel advances a virtual clock from event to event.
+Runs are fully deterministic given a seed, which keeps every benchmark
+reproducible.
+
+The design is a deliberately small subset of the SimPy style:
+
+* :class:`Simulator` owns the clock and the event heap;
+* :class:`Event` is a one-shot occurrence that processes wait on;
+* :class:`Process` wraps a generator and is itself an event that
+  triggers when the generator finishes (so processes can join);
+* ``sim.timeout(d)`` is an event that triggers ``d`` time units later.
+
+Example::
+
+    sim = Simulator()
+
+    def pinger(sim):
+        for _ in range(3):
+            yield sim.timeout(1.0)
+
+    sim.spawn(pinger(sim))
+    sim.run()
+    assert sim.now == 3.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+#: What a simulation process generator yields: events to wait on.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class SimulationError(Exception):
+    """The kernel detected an inconsistent use of its primitives."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence carrying a value or an exception.
+
+    Processes wait by yielding the event; callbacks may also be
+    attached directly.  Once triggered (succeeded or failed) the value
+    is frozen; waiting on an already-triggered event resumes the waiter
+    immediately (at the current simulated time).
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_triggered", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._triggered = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has no value yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiters receive the exception thrown at their yield point.
+        """
+        self._trigger(None, exc)
+        return self
+
+    def _trigger(self, value: Any, exc: BaseException | None) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim._schedule_call(callback, self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event already triggered, the callback runs at the
+        current simulated time (still through the event queue, so
+        ordering stays deterministic).
+        """
+        if self._triggered:
+            self.sim._schedule_call(callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Wraps a generator that yields :class:`Event` objects.  The process
+    is itself an event: it succeeds with the generator's return value,
+    or fails with the exception that escaped the generator.  Other
+    processes can therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self._interrupts: list[Interrupt] = []
+        sim._schedule_call(self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        Interrupting a finished process is a no-op, matching the usual
+        "cancel if still running" usage.
+        """
+        if self.triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+            # Detach from the event we were waiting on; resume with the
+            # interrupt instead.  The original event may still trigger
+            # later; we simply no longer care.
+            try:
+                waiting._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self.sim._schedule_call(self._resume, None)
+
+    def _resume(self, event: Event | None) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                target = self._generator.throw(interrupt)
+            elif event is not None and event._exc is not None:
+                target = self._generator.throw(event._exc)
+            else:
+                target = self._generator.send(
+                    event._value if event is not None else None
+                )
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process quietly:
+            # this is the normal way to cancel background daemons.
+            self._value = exc.cause
+            if not self.triggered:
+                self.succeed(exc.cause)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            self.sim.failed_processes.append(self)
+            return
+        if not isinstance(target, Event):
+            self._generator.throw(
+                SimulationError(f"process yielded non-event {target!r}")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of pending callbacks."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[Event | None], None], Event | None]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        #: processes that died with an unhandled exception; experiments
+        #: assert this stays empty so failures never pass silently.
+        self.failed_processes: list[Process] = []
+
+    # -- event construction ----------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
+        """An event that succeeds ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        ev = Event(self, name)
+        self._schedule_at(self.now + delay, lambda _e: ev.succeed(value), None)
+        return ev
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        proc = Process(self, generator, name)
+        self._processes.append(proc)
+        return proc
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """An event that succeeds when every input event has succeeded.
+
+        Its value is the list of input values in input order.  Fails
+        fast with the first failure.
+        """
+        events = list(events)
+        done = self.event(name)
+        remaining = len(events)
+        if remaining == 0:
+            done.succeed([])
+            return done
+        values: list[Any] = [None] * remaining
+        state = {"left": remaining, "failed": False}
+
+        def make_callback(index: int):
+            def on_trigger(ev: Event) -> None:
+                if done.triggered:
+                    return
+                if ev._exc is not None:
+                    state["failed"] = True
+                    done.fail(ev._exc)
+                    return
+                values[index] = ev._value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    done.succeed(values)
+            return on_trigger
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_callback(i))
+        return done
+
+    def any_of(self, events: Iterable[Event], name: str = "any_of") -> Event:
+        """An event that mirrors the first input event to trigger."""
+        events = list(events)
+        done = self.event(name)
+
+        def on_trigger(ev: Event) -> None:
+            if done.triggered:
+                return
+            if ev._exc is not None:
+                done.fail(ev._exc)
+            else:
+                done.succeed(ev._value)
+
+        for ev in events:
+            ev.add_callback(on_trigger)
+        return done
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _schedule_call(
+        self, callback: Callable[[Event | None], None], event: Event | None
+    ) -> None:
+        self._schedule_at(self.now, callback, event)
+
+    def _schedule_at(
+        self,
+        when: float,
+        callback: Callable[[Event | None], None],
+        event: Event | None,
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, callback, event))
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending callback; return False if none remain."""
+        if not self._heap:
+            return False
+        when, _seq, callback, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        callback(event)
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        Returns the final simulated time.  With ``until`` set, the
+        clock is advanced exactly to ``until`` even if the last event
+        fires earlier, so utilization denominators are well defined.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self.now
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self.now = max(self.now, until)
+        return self.now
+
+    def peek(self) -> float | None:
+        """Time of the next pending event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

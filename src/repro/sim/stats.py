@@ -1,0 +1,158 @@
+"""Metric collection for simulation experiments.
+
+Three collectors cover the quantities the paper reports:
+
+* :class:`Counter` — event counts and rates (messages/second,
+  RPCs/second, bytes logged);
+* :class:`LatencySample` — latency distributions with mean and
+  percentiles (log-force response times);
+* :class:`TimeWeighted` — time-averaged levels (queue depths, buffer
+  occupancy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotone event counter with rate reporting."""
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.count += 1
+        self.total += amount
+
+    def rate(self, elapsed: float) -> float:
+        """Total per unit time over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.total / elapsed
+
+    def count_rate(self, elapsed: float) -> float:
+        """Occurrences per unit time over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.count / elapsed
+
+
+class LatencySample:
+    """A reservoir of latency observations with summary statistics."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency {value}")
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def stdev(self) -> float:
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self._values) / (n - 1))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) by linear interpolation."""
+        if not self._values:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        ordered = sorted(self._values)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+
+class TimeWeighted:
+    """A level integrated over time (mean queue depth, occupancy)."""
+
+    def __init__(self, name: str = "level", initial: float = 0.0, start: float = 0.0):
+        self.name = name
+        self._level = initial
+        self._last_time = start
+        self._integral = 0.0
+        self._max = initial
+
+    def set(self, level: float, now: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._integral += self._level * (now - self._last_time)
+        self._level = level
+        self._last_time = now
+        self._max = max(self._max, level)
+
+    def adjust(self, delta: float, now: float) -> None:
+        self.set(self._level + delta, now)
+
+    @property
+    def current(self) -> float:
+        return self._level
+
+    @property
+    def peak(self) -> float:
+        return self._max
+
+    def mean(self, now: float) -> float:
+        if now <= 0:
+            return self._level
+        integral = self._integral + self._level * (now - self._last_time)
+        return integral / now
+
+
+@dataclass
+class MetricSet:
+    """A named bag of collectors, shared by the nodes of one experiment."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    latencies: dict[str, LatencySample] = field(default_factory=dict)
+    levels: dict[str, TimeWeighted] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def latency(self, name: str) -> LatencySample:
+        if name not in self.latencies:
+            self.latencies[name] = LatencySample(name)
+        return self.latencies[name]
+
+    def level(self, name: str, start: float = 0.0) -> TimeWeighted:
+        if name not in self.levels:
+            self.levels[name] = TimeWeighted(name, start=start)
+        return self.levels[name]

@@ -1,0 +1,49 @@
+"""Storage substrate: disks, NVRAM, the append-forest, and log streams.
+
+* :mod:`repro.storage.disk` — seek/rotation/transfer timing model with
+  the paper's slow- and fast-disk presets, plus duplexed mirrors;
+* :mod:`repro.storage.nvram` — the low-latency non-volatile buffer of
+  Sections 4.1/5.1;
+* :mod:`repro.storage.append_forest` — the Section 4.3 index;
+* :mod:`repro.storage.log_stream` — the interleaved sequential stream
+  with interval-list checkpoints and the post-crash scan;
+* :mod:`repro.storage.pages` — append-only page stores (write-once and
+  reusable variants).
+"""
+
+from .append_forest import AppendForest, AppendForestError, ForestNode
+from .disk import (
+    FAST_1987_DISK,
+    SLOW_1987_DISK,
+    DiskParams,
+    MirroredDisks,
+    SimDisk,
+)
+from .log_stream import (
+    ENTRY_HEADER_BYTES,
+    Checkpoint,
+    DiskLogStream,
+    StreamEntry,
+)
+from .nvram import NvramBuffer, NvramFullError
+from .pages import AppendOnlyPageStore, PageStoreError, ReusablePageStore
+
+__all__ = [
+    "AppendForest",
+    "AppendForestError",
+    "AppendOnlyPageStore",
+    "Checkpoint",
+    "DiskLogStream",
+    "DiskParams",
+    "ENTRY_HEADER_BYTES",
+    "FAST_1987_DISK",
+    "ForestNode",
+    "MirroredDisks",
+    "NvramBuffer",
+    "NvramFullError",
+    "PageStoreError",
+    "ReusablePageStore",
+    "SimDisk",
+    "SLOW_1987_DISK",
+    "StreamEntry",
+]

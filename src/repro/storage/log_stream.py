@@ -1,0 +1,235 @@
+"""The interleaved on-disk log stream of a log server (Section 4.3).
+
+"Records from different logs must be interleaved in a data stream that
+is written sequentially to disk."  The stream is a sequence of
+track-sized pages, each holding entries from many clients, plus
+periodically checkpointed interval lists.  After a crash, "a server
+must scan the end of the log data stream to find the ends of active
+intervals" — :meth:`DiskLogStream.crash_scan` implements that scan,
+starting at the latest checkpoint.
+
+Entries cover the three durable effects a server performs:
+
+* ``write``  — a ServerWriteLog/WriteLog/ForceLog record;
+* ``copy``   — a CopyLog record staged under a new epoch;
+* ``install``— an InstallCopies marker for one (client, epoch).
+
+Rebuilding a :class:`~repro.core.store.LogServerStore` is a replay of
+these entries in order, so the durable stream — not any volatile
+structure — is the authoritative server state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+from ..core.records import Epoch, StoredRecord
+from ..core.store import LogServerStore
+from .pages import ReusablePageStore
+
+EntryKind = Literal["write", "copy", "install"]
+
+#: Fixed per-entry header overhead used for byte accounting: entry kind,
+#: client id hash, LSN, epoch, flags, length — roughly six words.
+ENTRY_HEADER_BYTES = 24
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEntry:
+    """One durable effect in the log stream."""
+
+    kind: EntryKind
+    client_id: str
+    record: StoredRecord | None = None
+    epoch: Epoch | None = None  # for install markers
+
+    def __post_init__(self) -> None:
+        if self.kind in ("write", "copy") and self.record is None:
+            raise ValueError(f"{self.kind} entry requires a record")
+        if self.kind == "install" and self.epoch is None:
+            raise ValueError("install entry requires an epoch")
+
+    @property
+    def byte_size(self) -> int:
+        data = len(self.record.data) if self.record is not None else 0
+        return ENTRY_HEADER_BYTES + data
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """Interval-list checkpoint: stream position + serialized intervals.
+
+    ``track_index`` is the first track the crash scan must read;
+    ``intervals`` maps client id to its (epoch, lo, hi) triples at
+    checkpoint time.  Kept deliberately small — "storing one interval
+    requires space for three integers".
+    """
+
+    track_index: int
+    intervals: dict[str, tuple[tuple[int, int, int], ...]]
+
+
+class DiskLogStream:
+    """Track-at-a-time sequential stream over an append-only page store."""
+
+    def __init__(self, track_bytes: int = 8192, name: str = "stream",
+                 write_once: bool = False):
+        self.track_bytes = track_bytes
+        #: write-once (optical) media have no reusable known location;
+        #: checkpoints are appended into the stream itself ("they may
+        #: be checkpointed to a known location on a reusable disk or to
+        #: a write once disk along with the log data stream").
+        self.write_once = write_once
+        self.pages = ReusablePageStore(name)
+        self._open_track: list[StreamEntry] = []
+        self._open_track_bytes = 0
+        self.entries_appended = 0
+        self.bytes_appended = 0
+        #: optional callback fired at every seal with
+        #: ``(track_address, entries)``; the server's append-forest
+        #: index subscribes here (Section 4.3).
+        self.on_seal = None
+
+    # -- appending ------------------------------------------------------------
+
+    def append(self, entry: StreamEntry) -> None:
+        """Buffer one entry into the open track; seal when full.
+
+        A single entry larger than a track occupies a track of its own
+        (the protocol would stream it across packets; on disk it simply
+        spans — modelled as an oversized page).
+        """
+        size = entry.byte_size
+        if self._open_track and self._open_track_bytes + size > self.track_bytes:
+            self.seal_track()
+        self._open_track.append(entry)
+        self._open_track_bytes += size
+        self.entries_appended += 1
+        self.bytes_appended += size
+        if self._open_track_bytes >= self.track_bytes:
+            self.seal_track()
+
+    def seal_track(self) -> int | None:
+        """Write the open track to the page store; return its address."""
+        if not self._open_track:
+            return None
+        entries = tuple(self._open_track)
+        address = self.pages.append(entries)
+        self._open_track = []
+        self._open_track_bytes = 0
+        if self.on_seal is not None:
+            self.on_seal(address, entries)
+        return address
+
+    @property
+    def open_entry_count(self) -> int:
+        """Entries buffered but not yet on a sealed track.
+
+        These model data sitting in NVRAM: durable against power loss
+        in the paper's design, so :meth:`crash_scan` includes them by
+        default (``lose_open_track=True`` models a server *without*
+        NVRAM, whose open track is volatile).
+        """
+        return len(self._open_track)
+
+    # -- checkpoints -------------------------------------------------------------
+
+    def checkpoint(self, store: LogServerStore) -> Checkpoint:
+        """Write an interval-list checkpoint.
+
+        On reusable media the checkpoint overwrites the known location;
+        on write-once media it is appended into the stream (after
+        sealing the open track so its position is exact).  Either way,
+        a crash scan replays only entries at or after the checkpointed
+        track.
+        """
+        snapshot = {
+            client_id: tuple(
+                (iv.epoch, iv.lo, iv.hi)
+                for iv in store.client_state(client_id).intervals()
+            )
+            for client_id in store.known_clients()
+        }
+        if self.write_once:
+            self.seal_track()
+            cp = Checkpoint(track_index=self.pages.next_address + 1,
+                            intervals=snapshot)
+            self.pages.append(cp)
+        else:
+            cp = Checkpoint(track_index=self.pages.next_address,
+                            intervals=snapshot)
+            self.pages.write_known_location(cp)
+        return cp
+
+    # -- recovery ---------------------------------------------------------------
+
+    def entries(
+        self, from_track: int = 0, include_open: bool = True
+    ) -> Iterator[StreamEntry]:
+        """Iterate entries from ``from_track`` to the tail in order.
+
+        In-stream checkpoint pages (write-once media) carry no entries
+        and are skipped.
+        """
+        for _address, track in self.pages.scan(from_track):
+            if isinstance(track, Checkpoint):
+                continue
+            yield from track
+        if include_open:
+            yield from self._open_track
+
+    def latest_checkpoint(self) -> Checkpoint | None:
+        """The newest checkpoint, wherever this medium keeps it."""
+        if not self.write_once:
+            return self.pages.read_known_location()
+        for address in range(len(self.pages) - 1, -1, -1):
+            page = self.pages.read(address)
+            if isinstance(page, Checkpoint):
+                return page
+        return None
+
+    def crash_scan(
+        self, server_id: str, lose_open_track: bool = False
+    ) -> tuple[LogServerStore, int]:
+        """Rebuild the server's semantic state after a crash.
+
+        Returns ``(store, entries_replayed)``.  The full stream is the
+        authority: replay starts from track 0 so record *data* is
+        recovered; the interval checkpoint bounds only how many entries
+        must be re-*parsed* for interval reconstruction in a real
+        system, and is validated against the replayed state by the
+        tests (see ``scan_cost_with_checkpoint``).
+        """
+        store = LogServerStore(server_id)
+        replayed = 0
+        for entry in self.entries(0, include_open=not lose_open_track):
+            self._apply(store, entry)
+            replayed += 1
+        return store, replayed
+
+    def scan_cost_with_checkpoint(self) -> int:
+        """Entries the interval scan must parse given the checkpoint.
+
+        This is the quantity checkpointing exists to bound: only the
+        tracks written after the checkpoint need scanning to find "the
+        ends of active intervals".
+        """
+        cp = self.latest_checkpoint()
+        start = cp.track_index if cp is not None else 0
+        return sum(1 for _ in self.entries(start))
+
+    @staticmethod
+    def _apply(store: LogServerStore, entry: StreamEntry) -> None:
+        if entry.kind == "write":
+            rec = entry.record
+            store.server_write_log(
+                entry.client_id, rec.lsn, rec.epoch, rec.present, rec.data, rec.kind
+            )
+        elif entry.kind == "copy":
+            rec = entry.record
+            store.copy_log(
+                entry.client_id, rec.lsn, rec.epoch, rec.present, rec.data, rec.kind
+            )
+        else:
+            store.install_copies(entry.client_id, entry.epoch)

@@ -1,0 +1,104 @@
+"""Append-only page stores.
+
+Section 4.3 designs the server's disk data structures to "permit the
+use of write once (optical) storage": every structure only ever appends
+pages, and every pointer refers to an already-written page.  The page
+store here enforces exactly that discipline — pages get increasing
+addresses, are immutable once written, and can be truncated only from
+the tail (to model a torn final write during a crash).
+
+Two variants mirror the paper's two media:
+
+* :class:`AppendOnlyPageStore` — write-once semantics (optical disk);
+* :class:`ReusablePageStore` — adds a *known location* that may be
+  overwritten in place, used for interval-list checkpoints on a
+  reusable magnetic disk ("they may be checkpointed to a known location
+  on a reusable disk or to a write once disk along with the log data
+  stream").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+#: Address of a page within a store.
+PageAddress = int
+
+
+class PageStoreError(Exception):
+    """Violation of the append-only discipline."""
+
+
+class AppendOnlyPageStore:
+    """A sequence of immutable pages with integer addresses.
+
+    ``payload`` objects are treated as opaque and immutable by
+    convention; the store never hands out means to mutate them.
+    """
+
+    def __init__(self, name: str = "pages"):
+        self.name = name
+        self._pages: list[Any] = []
+        self.appends = 0
+        self.reads = 0
+
+    def append(self, payload: Any) -> PageAddress:
+        """Write a new page; return its address."""
+        self._pages.append(payload)
+        self.appends += 1
+        return len(self._pages) - 1
+
+    def read(self, address: PageAddress) -> Any:
+        """Read the page at ``address``."""
+        if not 0 <= address < len(self._pages):
+            raise PageStoreError(
+                f"address {address} out of range [0, {len(self._pages)})"
+            )
+        self.reads += 1
+        return self._pages[address]
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def next_address(self) -> PageAddress:
+        """The address the next append will receive."""
+        return len(self._pages)
+
+    def truncate_tail(self, keep: int) -> None:
+        """Drop pages with address >= ``keep``.
+
+        Models the loss of an in-flight final write during a crash.
+        Only the tail may be lost — earlier pages are durable.
+        """
+        if keep < 0 or keep > len(self._pages):
+            raise PageStoreError(f"cannot truncate to {keep} pages")
+        del self._pages[keep:]
+
+    def scan(self, start: PageAddress = 0) -> Iterator[tuple[PageAddress, Any]]:
+        """Iterate ``(address, payload)`` from ``start`` to the tail."""
+        for address in range(start, len(self._pages)):
+            self.reads += 1
+            yield address, self._pages[address]
+
+
+class ReusablePageStore(AppendOnlyPageStore):
+    """An append-only store plus one overwritable *known location*.
+
+    The known location holds the latest interval-list checkpoint on a
+    magnetic disk.  It is updated atomically (a real implementation
+    would ping-pong two sectors with version numbers; the model keeps
+    the abstraction).
+    """
+
+    def __init__(self, name: str = "pages"):
+        super().__init__(name)
+        self._known_location: Any = None
+        self.checkpoint_writes = 0
+
+    def write_known_location(self, payload: Any) -> None:
+        self._known_location = payload
+        self.checkpoint_writes += 1
+
+    def read_known_location(self) -> Any:
+        return self._known_location

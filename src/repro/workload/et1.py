@@ -1,0 +1,154 @@
+"""The ET1 (DebitCredit) workload with the TABS logging profile.
+
+Section 4.1: "Each ET1 transaction in the TABS prototype writes 700
+bytes of log data in seven log records.  Only the final commit record
+written by a local ET1 transaction must be forced to disk, preceding
+records are buffered in virtual memory until a force occurs or the
+buffer fills."
+
+Two drivers are provided:
+
+* :func:`et1_log_pattern` / :class:`Et1Driver` — the raw logging
+  profile (six buffered records + one forced commit, 100 bytes each),
+  which is what the capacity experiments measure; and
+* :func:`et1_transaction` — a *transactional* ET1 over the recovery
+  manager (account/teller/branch updates + history insert), used by the
+  end-to-end examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..analysis.constants import (
+    ET1_BYTES_PER_RECORD,
+    ET1_BYTES_PER_TXN,
+    ET1_RECORDS_PER_TXN,
+)
+from ..sim.kernel import Simulator
+from ..sim.stats import MetricSet
+
+
+@dataclass(frozen=True, slots=True)
+class Et1Params:
+    """Shape of the ET1 logging profile."""
+
+    records_per_txn: int = ET1_RECORDS_PER_TXN
+    bytes_per_record: int = ET1_BYTES_PER_RECORD
+    #: branches/tellers/accounts for the transactional variant.
+    branches: int = 10
+    tellers_per_branch: int = 10
+    accounts_per_branch: int = 1000
+
+    @property
+    def bytes_per_txn(self) -> int:
+        return self.records_per_txn * self.bytes_per_record
+
+
+def et1_log_pattern(
+    params: Et1Params = Et1Params(), txn_seq: int = 0
+) -> list[tuple[bytes, str, bool]]:
+    """The raw log records of one ET1 transaction.
+
+    Returns ``(data, kind, forced)`` triples: ``records_per_txn − 1``
+    buffered update records followed by one forced commit record.
+    """
+    records: list[tuple[bytes, str, bool]] = []
+    for i in range(params.records_per_txn - 1):
+        payload = f"et1:{txn_seq}:{i}:".encode()
+        payload += b"u" * max(0, params.bytes_per_record - len(payload))
+        records.append((payload, "update", False))
+    commit = f"et1:{txn_seq}:commit:".encode()
+    commit += b"c" * max(0, params.bytes_per_record - len(commit))
+    records.append((commit, "commit", True))
+    return records
+
+
+class Et1Driver:
+    """Closed-loop ET1 load from one client node (a sim process).
+
+    Runs transactions back to back, pacing arrivals so the long-run
+    rate approaches ``tps`` (exponential think time between
+    transactions, reduced by each transaction's own service time).
+    Observes per-transaction latency in ``<client>.txn`` and counts
+    completed transactions.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend,
+        tps: float,
+        rng: random.Random,
+        metrics: MetricSet,
+        name: str = "et1",
+        params: Et1Params = Et1Params(),
+    ):
+        if tps <= 0:
+            raise ValueError("tps must be positive")
+        self.sim = sim
+        self.backend = backend
+        self.tps = tps
+        self.rng = rng
+        self.metrics = metrics
+        self.name = name
+        self.params = params
+        self.completed = 0
+        self.failed = 0
+
+    def run(self, duration_s: float):
+        """Drive transactions until the clock passes ``duration_s``."""
+        t_end = self.sim.now + duration_s
+        seq = 0
+        while self.sim.now < t_end:
+            think = self.rng.expovariate(self.tps)
+            yield self.sim.timeout(think)
+            if self.sim.now >= t_end:
+                break
+            start = self.sim.now
+            try:
+                yield from self.run_one(seq)
+            except Exception:
+                self.failed += 1
+                return
+            self.completed += 1
+            self.metrics.latency(f"{self.name}.txn").observe(self.sim.now - start)
+            seq += 1
+        return self.completed
+
+    def run_one(self, seq: int):
+        """One ET1 transaction's logging: buffered updates + forced commit."""
+        for data, kind, forced in et1_log_pattern(self.params, seq):
+            yield from self.backend.log(data, kind)
+            if forced:
+                yield from self.backend.force()
+
+
+def et1_transaction(node, params: Et1Params, rng: random.Random):
+    """One transactional ET1 over a :class:`~repro.client.node.ClientNode`.
+
+    Debits an account, updates its teller and branch totals, and
+    appends a history row — the classic DebitCredit shape.
+    ``yield from`` me; returns the committed Transaction.
+    """
+    branch = rng.randrange(params.branches)
+    teller = rng.randrange(params.tellers_per_branch)
+    account = rng.randrange(params.accounts_per_branch)
+    amount = rng.randrange(-999, 1000)
+
+    def bump(current: str) -> str:
+        return str(int(current or "0") + amount)
+
+    rm = node.rm
+    txn = yield from rm.begin()
+    acct_key = f"account:{branch}:{account}"
+    yield from rm.update(txn, acct_key, bump(node.read(acct_key)))
+    teller_key = f"teller:{branch}:{teller}"
+    yield from rm.update(txn, teller_key, bump(node.read(teller_key)))
+    branch_key = f"branch:{branch}"
+    yield from rm.update(txn, branch_key, bump(node.read(branch_key)))
+    history_key = f"history:{txn.txid}"
+    yield from rm.update(txn, history_key, f"{branch} {teller} {account} {amount}")
+    yield from rm.commit(txn)
+    return txn

@@ -1,0 +1,140 @@
+"""Workload generators beyond ET1 (Section 2).
+
+"Workstation nodes might execute longer transactions on design or
+office automation databases.  These long running transactions are
+likely to contain many subtransactions or to use frequent save
+points."  The generators here provide that long-transaction shape —
+many update records, periodic savepoints, occasional aborts — plus
+generic open-loop arrival processes, for the splitting and streaming
+ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..sim.kernel import Simulator
+from ..sim.stats import MetricSet
+
+
+@dataclass(frozen=True, slots=True)
+class LongTxnParams:
+    """Shape of a long design-database transaction."""
+
+    updates_min: int = 20
+    updates_max: int = 200
+    bytes_per_record: int = 300
+    savepoint_every: int = 25
+    abort_probability: float = 0.05
+    keys: int = 5000
+
+
+class LongTransactionDriver:
+    """Long transactions over a log backend (a sim process).
+
+    Each transaction writes many buffered records; a savepoint forces
+    the log every ``savepoint_every`` updates (the paper's "frequent
+    save points").  A fraction of transactions abort at a random point.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend,
+        rng: random.Random,
+        metrics: MetricSet,
+        name: str = "long",
+        params: LongTxnParams = LongTxnParams(),
+    ):
+        self.sim = sim
+        self.backend = backend
+        self.rng = rng
+        self.metrics = metrics
+        self.name = name
+        self.params = params
+        self.completed = 0
+        self.aborted = 0
+
+    def run(self, transactions: int):
+        for seq in range(transactions):
+            start = self.sim.now
+            aborted = yield from self.run_one(seq)
+            label = "abort" if aborted else "txn"
+            self.metrics.latency(f"{self.name}.{label}").observe(
+                self.sim.now - start
+            )
+            if aborted:
+                self.aborted += 1
+            else:
+                self.completed += 1
+        return self.completed
+
+    def run_one(self, seq: int):
+        p = self.params
+        n_updates = self.rng.randint(p.updates_min, p.updates_max)
+        will_abort = self.rng.random() < p.abort_probability
+        abort_at = self.rng.randint(1, n_updates) if will_abort else -1
+        for i in range(n_updates):
+            if i == abort_at:
+                data = f"long:{seq}:abort:".encode()
+                yield from self.backend.log(data, "abort")
+                return True
+            data = f"long:{seq}:{i}:".encode()
+            data += b"d" * max(0, p.bytes_per_record - len(data))
+            yield from self.backend.log(data, "update")
+            if p.savepoint_every and (i + 1) % p.savepoint_every == 0:
+                sp = f"long:{seq}:savepoint:{i}".encode()
+                yield from self.backend.log(sp, "savepoint")
+                yield from self.backend.force()
+        yield from self.backend.log(f"long:{seq}:commit".encode(), "commit")
+        yield from self.backend.force()
+        return False
+
+
+def transactional_mix(node, rng: random.Random, params: LongTxnParams):
+    """One long transaction over the recovery manager; may abort.
+
+    Used by the splitting ablation: long transactions hold undo
+    components in the cache across many updates, which is where
+    splitting's savings and limits both show (Section 5.2).
+    ``yield from`` me; returns ``True`` if the transaction aborted.
+    """
+    p = params
+    n_updates = rng.randint(p.updates_min, p.updates_max)
+    will_abort = rng.random() < p.abort_probability
+    abort_at = rng.randint(1, n_updates) if will_abort else -1
+    txn = yield from node.rm.begin()
+    for i in range(n_updates):
+        if i == abort_at:
+            yield from node.rm.abort(txn)
+            return True
+        key = f"obj:{rng.randrange(p.keys)}"
+        value = f"v{txn.txid}.{i}"
+        yield from node.rm.update(txn, key, value)
+    yield from node.rm.commit(txn)
+    return False
+
+
+class PoissonArrivals:
+    """Open-loop arrivals: spawn ``job()`` at exponential intervals."""
+
+    def __init__(self, sim: Simulator, rate_per_s: float, rng: random.Random):
+        if rate_per_s <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate_per_s
+        self.rng = rng
+        self.spawned = 0
+
+    def run(self, job_factory, duration_s: float):
+        """Spawn ``job_factory()`` processes for ``duration_s``."""
+        t_end = self.sim.now + duration_s
+        while True:
+            gap = self.rng.expovariate(self.rate)
+            if self.sim.now + gap >= t_end:
+                break
+            yield self.sim.timeout(gap)
+            self.sim.spawn(job_factory(), name=f"arrival-{self.spawned}")
+            self.spawned += 1
+        return self.spawned

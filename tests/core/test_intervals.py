@@ -1,0 +1,165 @@
+"""Tests for intervals and the highest-epoch merge rule."""
+
+import pytest
+
+from repro.core.intervals import (
+    Interval,
+    MergedIntervalMap,
+    ServerIntervals,
+    intervals_from_lsns,
+)
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(epoch=1, lo=3, hi=7)
+        assert 3 in interval and 7 in interval and 5 in interval
+        assert 2 not in interval and 8 not in interval
+
+    def test_length(self):
+        assert len(Interval(1, 4, 4)) == 1
+        assert len(Interval(1, 4, 9)) == 6
+
+    def test_lo_must_not_exceed_hi(self):
+        with pytest.raises(ValueError):
+            Interval(1, 5, 4)
+
+    def test_positive_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(1, 0, 3)
+        with pytest.raises(ValueError):
+            Interval(0, 1, 3)
+
+    def test_extend(self):
+        assert Interval(2, 3, 5).extend() == Interval(2, 3, 6)
+
+    def test_lsns_range(self):
+        assert list(Interval(1, 2, 4).lsns()) == [2, 3, 4]
+
+    def test_ordering_by_epoch_then_lo(self):
+        assert Interval(1, 5, 9) < Interval(2, 1, 2)
+        assert Interval(1, 1, 2) < Interval(1, 5, 9)
+
+
+class TestIntervalsFromLsns:
+    def test_empty(self):
+        assert intervals_from_lsns([]) == ()
+
+    def test_single_run(self):
+        result = intervals_from_lsns([(1, 1), (2, 1), (3, 1)])
+        assert result == (Interval(1, 1, 3),)
+
+    def test_gap_splits(self):
+        result = intervals_from_lsns([(1, 1), (3, 1)])
+        assert result == (Interval(1, 1, 1), Interval(1, 3, 3))
+
+    def test_epoch_change_splits(self):
+        result = intervals_from_lsns([(1, 1), (2, 1), (3, 3), (4, 3)])
+        assert result == (Interval(1, 1, 2), Interval(3, 3, 4))
+
+    def test_same_lsn_two_epochs(self):
+        # Server 1 of Figure 3-1 stores ⟨3,1⟩ and ⟨3,3⟩.
+        result = intervals_from_lsns([(1, 1), (2, 1), (3, 1), (3, 3), (4, 3)])
+        assert result == (Interval(1, 1, 3), Interval(3, 3, 4))
+
+    def test_unordered_input(self):
+        result = intervals_from_lsns([(3, 1), (1, 1), (2, 1)])
+        assert result == (Interval(1, 1, 3),)
+
+    def test_duplicates_collapse(self):
+        result = intervals_from_lsns([(1, 1), (1, 1), (2, 1)])
+        assert result == (Interval(1, 1, 2),)
+
+
+class TestMergedIntervalMap:
+    def test_merge_keeps_highest_epoch(self):
+        # "only the entries with the highest epoch number for a
+        # particular LSN are kept"
+        reports = [
+            ServerIntervals("s1", (Interval(1, 1, 3),)),
+            ServerIntervals("s2", (Interval(3, 2, 4),)),
+        ]
+        merged = MergedIntervalMap.merge(reports)
+        assert merged.epoch_of(1) == 1
+        assert merged.epoch_of(2) == 3
+        assert merged.epoch_of(3) == 3
+        assert merged.servers_for(2) == ("s2",)
+        assert merged.servers_for(1) == ("s1",)
+
+    def test_equal_epoch_adds_read_site(self):
+        reports = [
+            ServerIntervals("s1", (Interval(1, 1, 2),)),
+            ServerIntervals("s2", (Interval(1, 2, 2),)),
+        ]
+        merged = MergedIntervalMap.merge(reports)
+        assert set(merged.servers_for(2)) == {"s1", "s2"}
+        assert merged.servers_for(1) == ("s1",)
+
+    def test_lower_epoch_ignored(self):
+        merged = MergedIntervalMap()
+        merged.note(1, 5, "s1")
+        merged.note(1, 3, "s2")
+        assert merged.epoch_of(1) == 5
+        assert merged.servers_for(1) == ("s1",)
+
+    def test_note_same_server_twice_no_duplicate(self):
+        merged = MergedIntervalMap()
+        merged.note(1, 1, "s1")
+        merged.note(1, 1, "s1")
+        assert merged.servers_for(1) == ("s1",)
+
+    def test_high_lsn(self):
+        merged = MergedIntervalMap()
+        assert merged.high_lsn() is None
+        merged.note(4, 1, "s1")
+        merged.note(2, 1, "s1")
+        assert merged.high_lsn() == 4
+
+    def test_highest_epoch(self):
+        merged = MergedIntervalMap()
+        assert merged.highest_epoch() == 0
+        merged.note(1, 2, "s1")
+        merged.note(2, 7, "s1")
+        assert merged.highest_epoch() == 7
+
+    def test_gaps(self):
+        merged = MergedIntervalMap()
+        merged.note(1, 1, "s1")
+        merged.note(4, 1, "s1")
+        assert merged.gaps() == [2, 3]
+
+    def test_no_gaps_when_contiguous(self):
+        merged = MergedIntervalMap()
+        for lsn in range(1, 5):
+            merged.note(lsn, 1, "s1")
+        assert merged.gaps() == []
+
+    def test_forget_server(self):
+        merged = MergedIntervalMap()
+        merged.note(1, 1, "s1")
+        merged.note(1, 1, "s2")
+        merged.forget_server("s1")
+        assert merged.servers_for(1) == ("s2",)
+        merged.forget_server("s2")
+        assert merged.servers_for(1) == ()
+        assert 1 in merged  # entry survives, only read sites are gone
+
+    def test_lsns_sorted(self):
+        merged = MergedIntervalMap()
+        for lsn in (5, 1, 3):
+            merged.note(lsn, 1, "s1")
+        assert merged.lsns() == [1, 3, 5]
+
+    def test_figure_3_1_merge(self):
+        """The replicated log of Figure 3-1: records {1,2,3,5..9}."""
+        s1 = ServerIntervals("s1", (Interval(1, 1, 3), Interval(3, 3, 9)))
+        s2 = ServerIntervals("s2", (Interval(1, 1, 3), Interval(3, 6, 7)))
+        s3 = ServerIntervals("s3", (Interval(3, 3, 5), Interval(3, 8, 9)))
+        merged = MergedIntervalMap.merge([s1, s2, s3])
+        assert merged.high_lsn() == 9
+        # record 4 is stored (not-present flag lives on the records,
+        # not in the interval map), records 1..9 all have entries
+        assert merged.lsns() == list(range(1, 10))
+        # epoch 3 wins for LSN 3
+        assert merged.epoch_of(3) == 3
+        assert set(merged.servers_for(3)) == {"s1", "s3"}

@@ -1,0 +1,96 @@
+"""Tests for the record value types."""
+
+import pytest
+
+from repro.core.records import LogRecord, RecordBatch, StoredRecord
+
+
+class TestLogRecord:
+    def test_basic_fields(self):
+        record = LogRecord(lsn=5, data=b"payload", kind="redo")
+        assert record.lsn == 5
+        assert record.data == b"payload"
+        assert record.kind == "redo"
+
+    def test_size_is_payload_length(self):
+        assert LogRecord(lsn=1, data=b"abc").size == 3
+        assert LogRecord(lsn=1, data=b"").size == 0
+
+    def test_lsn_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LogRecord(lsn=0, data=b"x")
+        with pytest.raises(ValueError):
+            LogRecord(lsn=-3, data=b"x")
+
+    def test_default_kind(self):
+        assert LogRecord(lsn=1, data=b"x").kind == "data"
+
+    def test_frozen(self):
+        record = LogRecord(lsn=1, data=b"x")
+        with pytest.raises(AttributeError):
+            record.lsn = 2
+
+
+class TestStoredRecord:
+    def test_key_is_lsn_epoch(self):
+        record = StoredRecord(lsn=3, epoch=7)
+        assert record.key == (3, 7)
+
+    def test_epoch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StoredRecord(lsn=1, epoch=0)
+
+    def test_not_present_forbids_data(self):
+        with pytest.raises(ValueError):
+            StoredRecord(lsn=1, epoch=1, present=False, data=b"x")
+
+    def test_not_present_without_data_ok(self):
+        record = StoredRecord(lsn=1, epoch=1, present=False)
+        assert not record.present
+        assert record.data == b""
+
+    def test_to_log_record_projects(self):
+        stored = StoredRecord(lsn=4, epoch=2, data=b"d", kind="undo")
+        log_record = stored.to_log_record()
+        assert log_record == LogRecord(lsn=4, data=b"d", kind="undo")
+
+    def test_equality_by_value(self):
+        a = StoredRecord(lsn=1, epoch=1, data=b"x")
+        b = StoredRecord(lsn=1, epoch=1, data=b"x")
+        assert a == b
+
+
+class TestRecordBatch:
+    def _records(self, lsns, epoch=1):
+        return [StoredRecord(lsn=l, epoch=epoch, data=b"d") for l in lsns]
+
+    def test_consecutive_lsns_accepted(self):
+        batch = RecordBatch(epoch=1, records=self._records([4, 5, 6]))
+        assert batch.low_lsn == 4
+        assert batch.high_lsn == 6
+        assert len(batch) == 3
+
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError):
+            RecordBatch(epoch=1, records=self._records([1, 3]))
+
+    def test_wrong_epoch_rejected(self):
+        records = self._records([1, 2], epoch=2)
+        with pytest.raises(ValueError):
+            RecordBatch(epoch=1, records=records)
+
+    def test_empty_batch_has_no_bounds(self):
+        batch = RecordBatch(epoch=1)
+        with pytest.raises(ValueError):
+            _ = batch.low_lsn
+        with pytest.raises(ValueError):
+            _ = batch.high_lsn
+
+    def test_byte_size_sums_payloads(self):
+        batch = RecordBatch(epoch=1, records=self._records([1, 2]))
+        assert batch.byte_size == 2
+
+    def test_iteration(self):
+        records = self._records([1, 2, 3])
+        batch = RecordBatch(epoch=1, records=records)
+        assert list(batch) == records

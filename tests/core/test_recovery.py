@@ -1,0 +1,135 @@
+"""Tests for the client-initialization (recovery) procedure."""
+
+import pytest
+
+from repro.core import (
+    DirectServerPort,
+    LogServerStore,
+    NotEnoughServers,
+    gather_interval_lists,
+    perform_recovery,
+)
+
+
+def build_stores(m=3):
+    stores = {f"s{i}": LogServerStore(f"s{i}") for i in range(m)}
+    ports = {sid: DirectServerPort(st) for sid, st in stores.items()}
+    return stores, ports
+
+
+class TestGatherIntervalLists:
+    def test_collects_from_all_up_servers(self):
+        stores, ports = build_stores(3)
+        lists = gather_interval_lists(ports, "c1", quorum=2)
+        assert len(lists) == 3
+
+    def test_quorum_enforced(self):
+        stores, ports = build_stores(3)
+        stores["s0"].crash()
+        stores["s1"].crash()
+        with pytest.raises(NotEnoughServers):
+            gather_interval_lists(ports, "c1", quorum=2)
+
+    def test_exact_quorum_accepted(self):
+        stores, ports = build_stores(3)
+        stores["s0"].crash()
+        lists = gather_interval_lists(ports, "c1", quorum=2)
+        assert {l.server_id for l in lists} == {"s1", "s2"}
+
+
+class TestPerformRecovery:
+    def test_empty_log_writes_guards_only(self):
+        stores, ports = build_stores(3)
+        lists = gather_interval_lists(ports, "c1", quorum=2)
+        result = perform_recovery("c1", ports, lists, new_epoch=1,
+                                  copies=2, delta=1)
+        assert result.next_lsn == 2  # guard at 1
+        assert result.records_copied == 1
+        assert len(result.write_set) == 2
+        for sid in result.write_set:
+            table = stores[sid].dump_table("c1")
+            assert table == [(1, 1, "no")]
+
+    def test_last_delta_records_copied(self):
+        stores, ports = build_stores(3)
+        for lsn in range(1, 6):
+            for sid in ("s0", "s1"):
+                stores[sid].server_write_log("c1", lsn, 1, True, b"r%d" % lsn)
+        lists = gather_interval_lists(ports, "c1", quorum=2)
+        result = perform_recovery("c1", ports, lists, new_epoch=2,
+                                  copies=2, delta=2)
+        # records 4,5 copied + guards 6,7
+        assert result.records_copied == 4
+        assert result.next_lsn == 8
+        for sid in result.write_set:
+            records = stores[sid].client_state("c1").records
+            epoch2 = [(r.lsn, r.present) for r in records if r.epoch == 2]
+            assert epoch2 == [(4, True), (5, True), (6, False), (7, False)]
+
+    def test_present_flags_preserved_in_copies(self):
+        stores, ports = build_stores(3)
+        # a not-present record at the tail (from an earlier recovery)
+        for sid in ("s0", "s1"):
+            stores[sid].server_write_log("c1", 1, 1, True, b"data")
+            stores[sid].server_write_log("c1", 2, 1, False)
+        lists = gather_interval_lists(ports, "c1", quorum=2)
+        result = perform_recovery("c1", ports, lists, new_epoch=2,
+                                  copies=2, delta=1)
+        for sid in result.write_set:
+            copy = stores[sid].client_state("c1").lookup(2)
+            assert copy.epoch == 2
+            assert not copy.present
+
+    def test_preferred_servers_honoured(self):
+        stores, ports = build_stores(4)
+        lists = gather_interval_lists(ports, "c1", quorum=3)
+        result = perform_recovery("c1", ports, lists, new_epoch=1,
+                                  copies=2, delta=1,
+                                  preferred_servers=("s3", "s2"))
+        assert result.write_set == ("s3", "s2")
+
+    def test_unavailable_preferred_server_skipped(self):
+        stores, ports = build_stores(4)
+        stores["s3"].crash()
+        lists = gather_interval_lists(ports, "c1", quorum=3)
+        result = perform_recovery("c1", ports, lists, new_epoch=1,
+                                  copies=2, delta=1,
+                                  preferred_servers=("s3", "s2"))
+        assert "s3" not in result.write_set
+        assert len(result.write_set) == 2
+
+    def test_insufficient_install_targets(self):
+        stores, ports = build_stores(3)
+        lists = gather_interval_lists(ports, "c1", quorum=2)
+        stores["s0"].crash()
+        stores["s1"].crash()
+        with pytest.raises(NotEnoughServers):
+            perform_recovery("c1", ports, lists, new_epoch=1,
+                             copies=2, delta=1)
+
+    def test_recovery_is_restartable(self):
+        """A crash mid-recovery leaves state a later recovery fixes."""
+        stores, ports = build_stores(3)
+        for sid in ("s0", "s1"):
+            stores[sid].server_write_log("c1", 1, 1, True, b"v")
+        # first recovery: stage on s0 only (simulate crash after one
+        # server staged but before install by doing it manually)
+        ports["s0"].copy_log("c1", 1, 2, True, b"v")
+        # staged, never installed; epoch 2 burned.  Full recovery at 3:
+        lists = gather_interval_lists(ports, "c1", quorum=2)
+        result = perform_recovery("c1", ports, lists, new_epoch=3,
+                                  copies=2, delta=1)
+        assert result.epoch == 3
+        # the stale staged epoch-2 copy must never become visible
+        assert stores["s0"].client_state("c1").lookup(1).epoch == 3
+
+    def test_merged_map_routes_to_installed_servers(self):
+        stores, ports = build_stores(3)
+        for sid in ("s0", "s1"):
+            stores[sid].server_write_log("c1", 1, 1, True, b"v")
+        lists = gather_interval_lists(ports, "c1", quorum=2)
+        result = perform_recovery("c1", ports, lists, new_epoch=2,
+                                  copies=2, delta=1)
+        # LSN 1 entry now carries the new epoch and the install targets
+        assert result.merged.epoch_of(1) == 2
+        assert set(result.merged.servers_for(1)) == set(result.write_set)

@@ -1,0 +1,247 @@
+"""Tests for the Watson-style transport connections."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ServerUnavailable
+from repro.net import DEFAULT_WINDOW, Endpoint, Lan
+from repro.sim import Simulator
+
+
+def build_pair(loss_prob=0.0, seed=0):
+    sim = Simulator()
+    lan = Lan(sim, loss_prob=loss_prob, rng=random.Random(seed))
+    client = Endpoint(sim, lan, "client")
+    server = Endpoint(sim, lan, "server")
+    return sim, lan, client, server
+
+
+class TestHandshake:
+    def test_three_way_establishes_both_ends(self):
+        sim, lan, client, server = build_pair()
+        result = {}
+
+        def client_side():
+            conn = yield from client.connect("server")
+            result["client_conn"] = conn
+
+        def server_side():
+            conn = yield from server.accept()
+            result["server_conn"] = conn
+
+        sim.spawn(client_side())
+        sim.spawn(server_side())
+        sim.run(until=5)
+        assert result["client_conn"].remote_id == "server"
+        assert result["server_conn"].remote_id == "client"
+
+    def test_handshake_survives_loss(self):
+        sim, lan, client, server = build_pair(loss_prob=0.4, seed=3)
+        result = {}
+
+        def client_side():
+            conn = yield from client.connect("server")
+            result["ok"] = True
+
+        sim.spawn(client_side())
+        sim.run(until=30)
+        assert result.get("ok")
+
+    def test_handshake_times_out_against_dead_server(self):
+        sim, lan, client, server = build_pair()
+        server.crash()
+        result = {}
+
+        def client_side():
+            try:
+                yield from client.connect("server")
+            except ServerUnavailable:
+                result["failed"] = True
+
+        sim.spawn(client_side())
+        sim.run(until=30)
+        assert result.get("failed")
+
+    def test_connection_ids_unique_across_connects(self):
+        sim, lan, client, server = build_pair()
+        ids = []
+
+        def client_side():
+            for _ in range(3):
+                conn = yield from client.connect("server")
+                ids.append(conn.conn_id)
+
+        sim.spawn(client_side())
+        sim.run(until=10)
+        assert len(set(ids)) == 3
+
+
+class TestDataTransfer:
+    def exchange(self, n_messages, loss_prob=0.0, dup_prob=0.0, seed=0):
+        sim = Simulator()
+        lan = Lan(sim, loss_prob=loss_prob, dup_prob=dup_prob,
+                  rng=random.Random(seed))
+        client = Endpoint(sim, lan, "client")
+        server = Endpoint(sim, lan, "server")
+        received = []
+
+        def server_side():
+            conn = yield from server.accept()
+            while True:
+                message = yield conn.inbox.get()
+                received.append(message)
+
+        def client_side():
+            conn = yield from client.connect("server")
+            for i in range(n_messages):
+                yield from conn.send(f"m{i}")
+
+        sim.spawn(server_side())
+        sim.spawn(client_side())
+        sim.run(until=60)
+        return received
+
+    def test_messages_delivered_in_order(self):
+        received = self.exchange(10)
+        assert received == [f"m{i}" for i in range(10)]
+
+    def test_duplicates_suppressed(self):
+        received = self.exchange(20, dup_prob=0.5, seed=5)
+        assert received == [f"m{i}" for i in range(20)]
+
+    def test_loss_leaves_gaps_not_corruption(self):
+        """No transport retransmit: lost data is simply missing."""
+        received = self.exchange(30, loss_prob=0.3, seed=7)
+        indices = [int(m[1:]) for m in received]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+        assert len(indices) < 30  # something was genuinely lost
+
+
+class TestFlowControl:
+    def test_sender_stalls_without_allocation(self):
+        """A silent receiver stops granting; the window fills."""
+        sim = Simulator()
+        lan = Lan(sim)
+        client = Endpoint(sim, lan, "client")
+        server = Endpoint(sim, lan, "server")
+        sent = []
+
+        def server_side():
+            conn = yield from server.accept()
+            # receive but the demux grants allocation only via packets;
+            # inbox is drained so delivery continues, grants flow in
+            # window updates.
+            while True:
+                yield conn.inbox.get()
+
+        def client_side():
+            conn = yield from client.connect("server")
+            for i in range(DEFAULT_WINDOW * 3):
+                yield from conn.send(i)
+                sent.append(i)
+
+        sim.spawn(server_side())
+        sim.spawn(client_side())
+        sim.run(until=120)
+        assert len(sent) == DEFAULT_WINDOW * 3
+
+    def test_override_pause_prevents_deadlock(self):
+        """A sender out of allocation may proceed after the pause."""
+        sim = Simulator()
+        lan = Lan(sim)
+        client = Endpoint(sim, lan, "client")
+        server = Endpoint(sim, lan, "server")
+        done = {}
+
+        def server_side():
+            conn = yield from server.accept()
+            # never drain: no window updates at all
+            while True:
+                yield sim.timeout(1000)
+
+        def client_side():
+            conn = yield from client.connect("server")
+            # exhaust the initial window, then one more
+            for i in range(DEFAULT_WINDOW + 1):
+                yield from conn.send(i)
+            done["t"] = sim.now
+
+        sim.spawn(server_side())
+        sim.spawn(client_side())
+        sim.run(until=300)
+        assert "t" in done  # progress despite zero grants
+        assert done["t"] >= 3.0  # but only after the pause
+
+    def test_stall_counted(self):
+        sim = Simulator()
+        lan = Lan(sim)
+        client = Endpoint(sim, lan, "client")
+        server = Endpoint(sim, lan, "server")
+        conns = {}
+
+        def server_side():
+            conn = yield from server.accept()
+            while True:
+                yield sim.timeout(1000)
+
+        def client_side():
+            conn = yield from client.connect("server")
+            conns["c"] = conn
+            for i in range(DEFAULT_WINDOW + 1):
+                yield from conn.send(i)
+
+        sim.spawn(server_side())
+        sim.spawn(client_side())
+        sim.run(until=300)
+        assert conns["c"].allocation_stalls >= 1
+
+
+class TestCrashSemantics:
+    def test_crashed_endpoint_receives_nothing(self):
+        sim = Simulator()
+        lan = Lan(sim)
+        client = Endpoint(sim, lan, "client")
+        server = Endpoint(sim, lan, "server")
+        received = []
+
+        def server_side():
+            conn = yield from server.accept()
+            while True:
+                message = yield conn.inbox.get()
+                received.append(message)
+
+        def client_side():
+            conn = yield from client.connect("server")
+            yield from conn.send("before")
+            yield sim.timeout(1)
+            server.crash()
+            yield from conn.send("during")
+            yield sim.timeout(1)
+            server.restart()
+            yield from conn.send("after-restart-stale-conn")
+
+        sim.spawn(server_side())
+        sim.spawn(client_side())
+        sim.run(until=30)
+        # "during" dropped (deaf), "after" dropped (stale connection
+        # state was cleared by the crash): cross-crash duplicate
+        # rejection via permanently unique connection ids.
+        assert received == ["before"]
+
+    def test_client_crash_closes_connections(self):
+        sim = Simulator()
+        lan = Lan(sim)
+        client = Endpoint(sim, lan, "client")
+        server = Endpoint(sim, lan, "server")
+        conns = {}
+
+        def client_side():
+            conn = yield from client.connect("server")
+            conns["c"] = conn
+
+        sim.spawn(client_side())
+        sim.run(until=5)
+        client.crash()
+        assert not conns["c"].open

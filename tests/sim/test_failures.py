@@ -1,0 +1,94 @@
+"""Tests for failure injection."""
+
+import random
+
+import pytest
+
+from repro.core import LogServerStore
+from repro.sim import (
+    Simulator,
+    UpDownProcess,
+    bernoulli_outage_sample,
+    mttr_for_unavailability,
+    restore_all,
+    unavailability,
+)
+
+
+class TestUnavailabilityMath:
+    def test_long_run_fraction(self):
+        assert unavailability(mtbf=95, mttr=5) == pytest.approx(0.05)
+
+    def test_mttr_inverse(self):
+        mttr = mttr_for_unavailability(mtbf=100, p=0.05)
+        assert unavailability(100, mttr) == pytest.approx(0.05)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            unavailability(0, 5)
+        with pytest.raises(ValueError):
+            mttr_for_unavailability(10, 1.0)
+
+
+class TestUpDownProcess:
+    def test_drives_target_through_cycles(self):
+        sim = Simulator()
+        store = LogServerStore("s")
+        proc = UpDownProcess(sim, store, mtbf=10, mttr=1,
+                             rng=random.Random(0))
+        sim.run(until=200)
+        assert proc.crashes > 5
+
+    def test_long_run_unavailability_near_model(self):
+        sim = Simulator()
+        store = LogServerStore("s")
+        transitions = []
+        proc = UpDownProcess(
+            sim, store, mtbf=9.5, mttr=0.5, rng=random.Random(1),
+            on_change=lambda up: transitions.append((sim.now, up)),
+        )
+        sim.run(until=5000)
+        # integrate downtime from transitions
+        down = 0.0
+        last_down_start = None
+        for t, up in transitions:
+            if not up:
+                last_down_start = t
+            elif last_down_start is not None:
+                down += t - last_down_start
+                last_down_start = None
+        assert down / 5000 == pytest.approx(0.05, abs=0.02)
+
+    def test_stop_interrupts(self):
+        sim = Simulator()
+        store = LogServerStore("s")
+        proc = UpDownProcess(sim, store, mtbf=10, mttr=1,
+                             rng=random.Random(0))
+        proc.stop()
+        sim.run(until=100)
+        assert proc.process.triggered
+
+
+class TestBernoulliOutage:
+    def test_p_zero_keeps_all_up(self):
+        stores = [LogServerStore(f"s{i}") for i in range(10)]
+        states = bernoulli_outage_sample(stores, 0.0, random.Random(0))
+        assert all(states)
+        assert all(s.available for s in stores)
+
+    def test_p_one_downs_all(self):
+        stores = [LogServerStore(f"s{i}") for i in range(10)]
+        bernoulli_outage_sample(stores, 1.0, random.Random(0))
+        assert not any(s.available for s in stores)
+
+    def test_fraction_approximates_p(self):
+        stores = [LogServerStore(f"s{i}") for i in range(2000)]
+        states = bernoulli_outage_sample(stores, 0.3, random.Random(7))
+        downs = states.count(False)
+        assert downs / 2000 == pytest.approx(0.3, abs=0.03)
+
+    def test_restore_all(self):
+        stores = [LogServerStore(f"s{i}") for i in range(5)]
+        bernoulli_outage_sample(stores, 1.0, random.Random(0))
+        restore_all(stores)
+        assert all(s.available for s in stores)

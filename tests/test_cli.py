@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["availability"])
+        assert args.p == 0.05
+        assert args.max_m == 8
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_availability(self, capsys):
+        assert main(["availability", "--max-m", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3-4" in out
+        assert "WriteLog" in out
+
+    def test_availability_custom_p(self, capsys):
+        assert main(["availability", "--p", "0.1", "--max-m", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "p = 0.1" in out
+        assert "0.810000" in out  # (1-0.1)^2 for M=N=2
+
+    def test_capacity(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "2,333" in out
+        assert "~2400" in out
+
+    def test_capacity_custom_cluster(self, capsys):
+        assert main(["capacity", "--servers", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "12 servers" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Server 3" in out
+        assert "[1, 2, 3, 5, 6, 7, 8, 9]" in out
+
+    def test_target_load_small(self, capsys):
+        assert main(["target-load", "--clients", "4", "--servers", "2",
+                     "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "achieved TPS" in out
+
+    def test_prototype_small(self, capsys):
+        assert main(["prototype", "--transactions", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "less than twice" in out
+
+
+class TestExtendedCommands:
+    def test_degraded(self, capsys):
+        from repro.cli import main
+        assert main(["degraded", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "survivor CPU" in out
+
+    def test_sweep(self, capsys):
+        from repro.cli import main
+        assert main(["sweep", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Saturation sweep" in out
+
+    def test_restart_latency(self, capsys):
+        from repro.cli import main
+        assert main(["restart-latency"]) == 0
+        out = capsys.readouterr().out
+        assert "Client initialization latency" in out
