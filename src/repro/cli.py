@@ -139,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Distributed Logging for Transaction "
                     "Processing' (SIGMOD 1987)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and print the top 25 "
+             "functions by cumulative time",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("availability", help="Figure 3-4 closed forms")
@@ -183,6 +188,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return args.func(args)
+        finally:
+            profiler.disable()
+            print()
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
     return args.func(args)
 
 

@@ -125,6 +125,16 @@ class SimLogClient:
         self.forces = 0
         self.server_switches = 0
         self.recoveries = 0
+        # hot-path caches: the per-packet CPU charge is fixed, and the
+        # per-send counter / per-force latency lookups otherwise cost a
+        # qualified-name f-string plus a dict probe each time.
+        self._packet_time = self.cpu_model.packet_time()
+        self._msgs_out = self.metrics.counter(f"{client_id}.msgs_out")
+        self._force_latency = self.metrics.latency(f"{client_id}.force")
+        #: running byte size of ``_buffer`` (records + per-record wire
+        #: overhead), maintained incrementally so ``log`` does not
+        #: re-sum the buffer on every append.
+        self._buffer_bytes = 0
 
     # -- connection plumbing -------------------------------------------------
 
@@ -142,15 +152,27 @@ class SimLogClient:
 
     def _pump(self, server_id: str, conn: Connection):
         """Dispatch inbound traffic from one server."""
+        sim = self.sim
+        cpu = self.cpu
+        inbox_get = conn.inbox.get
+        packet_time = self._packet_time
         while conn.open:
-            message = yield conn.inbox.get()
-            yield from self.cpu.use(self.cpu_model.packet_time())
-            if isinstance(message, RpcReply):
+            message = yield inbox_get()
+            # cpu.use() inlined — this loop runs once per inbound packet.
+            yield cpu.acquire()
+            try:
+                yield sim.timeout(packet_time)
+            finally:
+                cpu.release()
+                cpu.total_served += 1
+            # acks dominate inbound traffic (one per force); RPC
+            # replies only flow during initialization and recovery.
+            if type(message) is NewHighLSNMsg:
+                self._note_ack(server_id, message.new_high_lsn)
+            elif isinstance(message, RpcReply):
                 rpc = self._rpcs.get(server_id)
                 if rpc is not None:
                     rpc.dispatch(message)
-            elif isinstance(message, NewHighLSNMsg):
-                self._note_ack(server_id, message.new_high_lsn)
             elif isinstance(message, MissingIntervalMsg):
                 self._missing[server_id] = (message.lo, message.hi)
 
@@ -171,14 +193,30 @@ class SimLogClient:
 
     def durable_through(self) -> LSN:
         """Highest LSN acknowledged by *all* write-set servers."""
-        if not self._write_set:
+        ws = self._write_set
+        if not ws:
             return 0
-        return min(self._acked.get(s, 0) for s in self._write_set)
+        # plain loop: called once per log/force/ack, and a genexpr-min
+        # over a two-element write set costs ~3x as much.
+        get = self._acked.get
+        low = get(ws[0], 0)
+        for i in range(1, len(ws)):
+            v = get(ws[i], 0)
+            if v < low:
+                low = v
+        return low
 
     def _gc_unacked(self) -> None:
+        unacked = self._unacked
+        if not unacked:
+            return
         durable = self.durable_through()
-        for lsn in [l for l in self._unacked if l <= durable]:
-            del self._unacked[lsn]
+        # records are buffered in LSN order, so the dict's first key is
+        # its minimum: nothing to collect unless it is durable now.
+        if next(iter(unacked)) > durable:
+            return
+        for lsn in [l for l in unacked if l <= durable]:
+            del unacked[lsn]
 
     # -- client initialization (restart procedure) ------------------------------
 
@@ -270,6 +308,7 @@ class SimLogClient:
             self._acked[server_id] = guard_high
             self._sent_high[server_id] = guard_high
         self._buffer.clear()
+        self._buffer_bytes = 0
         self._unacked.clear()
         self.recoveries += 1
 
@@ -311,8 +350,9 @@ class SimLogClient:
         record = StoredRecord(lsn=lsn, epoch=self._epoch, present=True,
                               data=data, kind=kind)
         self._buffer.append(record)
+        self._buffer_bytes += len(data) + _RECORD_OVERHEAD
         self._unacked[lsn] = record
-        if _records_size(self._buffer) > PACKET_PAYLOAD_BYTES:
+        if self._buffer_bytes > PACKET_PAYLOAD_BYTES:
             yield from self._stream_buffer()
         return lsn
 
@@ -321,6 +361,7 @@ class SimLogClient:
         chunks = _pack_records(self._buffer)
         # keep the last (possibly partial) chunk buffered
         to_send, self._buffer = chunks[:-1], list(chunks[-1])
+        self._buffer_bytes = _records_size(self._buffer)
         for chunk in to_send:
             for server_id in list(self._write_set):
                 yield from self._send_write(server_id, chunk, forced=False)
@@ -336,6 +377,7 @@ class SimLogClient:
         start = self.sim.now
         high = self._next_lsn - 1
         self._buffer.clear()  # records remain in _unacked for resends
+        self._buffer_bytes = 0
         if high == 0:
             return
         pending = [s for s in self._write_set
@@ -343,11 +385,59 @@ class SimLogClient:
         if not pending and not self._buffer:
             return
         done = []
+        acked_get = self._acked.get
+        sim = self.sim
         for server_id in list(self._write_set):
-            if self._acked.get(server_id, 0) >= high:
+            if acked_get(server_id, 0) >= high:
                 done.append(server_id)
                 continue
-            ok = yield from self._force_one(server_id, high)
+            # _force_one (and its _await_ack) inlined; the methods stay
+            # for the server-switch path.  The two delegation frames
+            # otherwise tax every yield of every force.
+            ok = False
+            for _attempt in range(self.config.write_retries + 1):
+                low = max(acked_get(server_id, 0),
+                          self._sent_high.get(server_id, 0)) + 1
+                # On a retry, resend everything unacknowledged.
+                if _attempt > 0:
+                    low = acked_get(server_id, 0) + 1
+                records = [self._unacked[lsn]
+                           for lsn in range(low, high + 1)
+                           if lsn in self._unacked]
+                try:
+                    if records:
+                        chunks = _pack_records(records)
+                        last_i = len(chunks) - 1
+                        for i, chunk in enumerate(chunks):
+                            yield from self._send_write(server_id, chunk,
+                                                        forced=i == last_i)
+                    else:
+                        # nothing new to send; solicit an ack by
+                        # resending the highest record as a ForceLog.
+                        probe = self._unacked.get(high)
+                        if probe is None:
+                            ok = acked_get(server_id, 0) >= high
+                            break
+                        yield from self._send_write(server_id, (probe,),
+                                                    forced=True)
+                except ServerUnavailable:
+                    break
+                if acked_get(server_id, 0) >= high:
+                    ok = True
+                else:
+                    event = sim.event("ack-wait")
+                    self._ack_waiters.setdefault(server_id, []).append(
+                        (high, event))
+                    yield sim.any_of(
+                        [event, sim.timeout(self.force_timeout_s)])
+                    ok = acked_get(server_id, 0) >= high
+                if ok:
+                    self._server_loads[server_id] = sim.now  # freshness
+                    break
+                # handle a MissingInterval the server may have raised
+                missing = self._missing.pop(server_id, None)
+                if missing is not None:
+                    yield from self._handle_missing(server_id, missing)
             if ok:
                 done.append(server_id)
             else:
@@ -361,8 +451,7 @@ class SimLogClient:
             )
         self.forces += 1
         self._gc_unacked()
-        elapsed = self.sim.now - start
-        self.metrics.latency(f"{self.client_id}.force").observe(elapsed)
+        self._force_latency.observe(self.sim.now - start)
 
     def _force_one(self, server_id: str, high: LSN) -> bool:
         """Drive one server to acknowledge through ``high``."""
@@ -376,9 +465,11 @@ class SimLogClient:
                        for lsn in range(low, high + 1) if lsn in self._unacked]
             try:
                 if records:
-                    for i, chunk in enumerate(_pack_records(records)):
-                        last = i == len(_pack_records(records)) - 1
-                        yield from self._send_write(server_id, chunk, forced=last)
+                    chunks = _pack_records(records)
+                    last_i = len(chunks) - 1
+                    for i, chunk in enumerate(chunks):
+                        yield from self._send_write(server_id, chunk,
+                                                    forced=i == last_i)
                 else:
                     # nothing new to send; solicit an ack by resending
                     # the highest record as a ForceLog (idempotent).
@@ -401,7 +492,7 @@ class SimLogClient:
     def _await_ack(self, server_id: str, high: LSN) -> bool:
         if self._acked.get(server_id, 0) >= high:
             return True
-        event = self.sim.event(f"ack-{server_id}-{high}")
+        event = self.sim.event("ack-wait")
         self._ack_waiters.setdefault(server_id, []).append((high, event))
         yield self.sim.any_of([event, self.sim.timeout(self.force_timeout_s)])
         return self._acked.get(server_id, 0) >= high
@@ -417,8 +508,9 @@ class SimLogClient:
         lo, hi = missing
         if all(lsn in self._unacked for lsn in range(lo, hi + 1)):
             records = [self._unacked[lsn] for lsn in range(lo, hi + 1)]
-            for i, chunk in enumerate(_pack_records(records)):
-                forced = i == len(_pack_records(records)) - 1
+            chunks = _pack_records(records)
+            for i, chunk in enumerate(chunks):
+                forced = i == len(chunks) - 1
                 yield from self._send_write(server_id, chunk, forced=forced)
         else:
             conn = yield from self._connect(server_id)
@@ -467,12 +559,25 @@ class SimLogClient:
 
     def _send_write(self, server_id: str, chunk: tuple[StoredRecord, ...],
                     forced: bool):
-        conn = yield from self._connect(server_id)
+        # cached-connection fast path: skip the _connect generator
+        # (one allocation + StopIteration per send) when already live.
+        conn = self._conns.get(server_id)
+        if conn is None or not conn.open:
+            conn = yield from self._connect(server_id)
         cls = ForceLogMsg if forced else WriteLogMsg
         message = cls(client_id=self.client_id, epoch=chunk[0].epoch,
                       records=chunk)
-        yield from self.cpu.use(self.cpu_model.packet_time())
-        self.metrics.counter(f"{self.client_id}.msgs_out").add()
+        # cpu.use() inlined — one generator per send instead of two.
+        cpu = self.cpu
+        yield cpu.acquire()
+        try:
+            yield self.sim.timeout(self._packet_time)
+        finally:
+            cpu.release()
+            cpu.total_served += 1
+        c = self._msgs_out
+        c.count += 1
+        c.total += 1.0
         yield from conn.send(message)
         self._sent_high[server_id] = max(
             self._sent_high.get(server_id, 0), chunk[-1].lsn

@@ -11,14 +11,29 @@ servers and merges them, keeping, for each LSN, only the entries with
 the highest epoch number.  The merged list answers ``EndOfLog`` (its
 highest LSN) and routes every subsequent ``ReadLog`` to a server known
 to store the record.
+
+The merged map is held as *segments* — disjoint, sorted runs of LSNs
+sharing one (epoch, servers) value — not as a per-LSN dictionary, so
+merging interval lists costs O(k log k) in the number of intervals
+rather than O(total LSNs), exactly the economy the paper's interval
+representation exists to provide ("storing one interval requires space
+for three integers").  Per-LSN queries answer from a binary search;
+the per-LSN semantics (highest epoch wins; equal epochs accumulate
+read sites in arrival order) are unchanged.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Iterable, Iterator
 
 from .records import Epoch, LSN
+
+# segment field offsets: [lo, hi, epoch, servers]
+_seg_lo = itemgetter(0)
+_seg_hi = itemgetter(1)
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -91,10 +106,18 @@ class MergedIntervalMap:
     client initialization, then updated incrementally as WriteLog sends
     new records.  For each LSN it records the winning (highest) epoch
     and the servers storing that version.
+
+    Internally a sorted list of disjoint segments ``[lo, hi, epoch,
+    servers]``; adjacent segments with equal (epoch, servers) are kept
+    coalesced, so the segment count tracks the number of distinct
+    interval runs, not the number of LSNs.
     """
 
+    __slots__ = ("_segs",)
+
     def __init__(self) -> None:
-        self._entries: dict[LSN, MergedEntry] = {}
+        #: disjoint segments sorted by lo: [lo, hi, epoch, servers]
+        self._segs: list[list] = []
 
     # -- construction -------------------------------------------------
 
@@ -103,13 +126,17 @@ class MergedIntervalMap:
         """Merge server interval lists, keeping highest-epoch entries.
 
         "In merging the interval lists, only the entries with the
-        highest epoch number for a particular LSN are kept."
+        highest epoch number for a particular LSN are kept."  Whole
+        intervals are merged by boundary arithmetic — O(k log k) in the
+        number of intervals, independent of how many LSNs they span.
         """
         merged = cls()
         for report in reports:
+            server_id = report.server_id
             for interval in report:
-                for lsn in interval.lsns():
-                    merged.note(lsn, interval.epoch, report.server_id)
+                merged._note_range(
+                    interval.lo, interval.hi, interval.epoch, server_id
+                )
         return merged
 
     def note(self, lsn: LSN, epoch: Epoch, server_id: str) -> None:
@@ -118,13 +145,112 @@ class MergedIntervalMap:
         A higher epoch replaces a lower one; an equal epoch adds the
         server as an additional read site; a lower epoch is ignored.
         """
-        cur = self._entries.get(lsn)
-        if cur is None or epoch > cur.epoch:
-            self._entries[lsn] = MergedEntry(lsn, epoch, (server_id,))
-        elif epoch == cur.epoch and server_id not in cur.servers:
-            self._entries[lsn] = MergedEntry(
-                lsn, epoch, cur.servers + (server_id,)
-            )
+        segs = self._segs
+        if not segs:
+            segs.append([lsn, lsn, epoch, (server_id,)])
+            return
+        last = segs[-1]
+        if lsn > last[1]:
+            # appending past the end — the first replica's WriteLog
+            # steady state.
+            if lsn == last[1] + 1 and epoch == last[2] \
+                    and last[3] == (server_id,):
+                last[1] = lsn
+            else:
+                segs.append([lsn, lsn, epoch, (server_id,)])
+            return
+        if lsn == last[0] and epoch == last[2] and server_id not in last[3]:
+            # adding a read site at the head of the tail segment — the
+            # second replica's steady state: each of its notes lands on
+            # the first LSN the earlier replicas already cover.
+            grown = last[3] + (server_id,)
+            if len(segs) >= 2:
+                prev = segs[-2]
+                if prev[1] == lsn - 1 and prev[2] == epoch \
+                        and prev[3] == grown:
+                    prev[1] = lsn
+                    if last[1] == lsn:
+                        segs.pop()
+                    else:
+                        last[0] = lsn + 1
+                    return
+            if last[1] == lsn:
+                last[3] = grown
+            else:
+                segs[-1:] = [[lsn, lsn, epoch, grown],
+                             [lsn + 1, last[1], epoch, last[3]]]
+            return
+        self._note_range(lsn, lsn, epoch, server_id)
+
+    def _note_range(self, lo: LSN, hi: LSN, epoch: Epoch,
+                    server_id: str) -> None:
+        """Apply the per-LSN merge rule to every LSN in ``[lo, hi]``.
+
+        Equivalent to calling :meth:`note` once per LSN, but performed
+        segment-wise: overlapping segments are split at the boundaries,
+        the rule (higher epoch replaces, equal epoch appends the
+        server, lower epoch is ignored) is applied to each overlap
+        piece, and uncovered sub-ranges become new segments.
+        """
+        segs = self._segs
+        new_servers = (server_id,)
+        if not segs or lo > segs[-1][1]:
+            last = segs[-1] if segs else None
+            if last is not None and lo == last[1] + 1 \
+                    and last[2] == epoch and last[3] == new_servers:
+                last[1] = hi
+            else:
+                segs.append([lo, hi, epoch, new_servers])
+            return
+        n = len(segs)
+        # first segment whose hi reaches lo (segments are disjoint and
+        # sorted, so both lo and hi columns are sorted).
+        i = bisect_left(segs, lo, key=_seg_hi)
+        out: list[list] = []
+        cur = lo
+        j = i
+        while j < n and segs[j][0] <= hi:
+            s_lo, s_hi, s_ep, s_srv = segs[j]
+            if cur < s_lo:
+                # a gap the new interval covers alone
+                out.append([cur, s_lo - 1, epoch, new_servers])
+                cur = s_lo
+            elif s_lo < cur:
+                # untouched left piece of a segment straddling lo
+                out.append([s_lo, cur - 1, s_ep, s_srv])
+            ov_hi = s_hi if s_hi < hi else hi
+            if epoch > s_ep:
+                out.append([cur, ov_hi, epoch, new_servers])
+            elif epoch == s_ep and server_id not in s_srv:
+                out.append([cur, ov_hi, s_ep, s_srv + new_servers])
+            else:
+                out.append([cur, ov_hi, s_ep, s_srv])
+            if s_hi > hi:
+                # untouched right piece of a segment straddling hi
+                out.append([hi + 1, s_hi, s_ep, s_srv])
+            cur = ov_hi + 1
+            j += 1
+        if cur <= hi:
+            out.append([cur, hi, epoch, new_servers])
+        # splice back, pulling in both neighbours so coalescing can
+        # cross the window boundary.
+        splice_lo, splice_hi = i, j
+        if i > 0:
+            splice_lo = i - 1
+            out.insert(0, segs[i - 1])
+        if j < n:
+            out.append(segs[j])
+            splice_hi = j + 1
+        coalesced: list[list] = []
+        for seg in out:
+            if coalesced:
+                prev = coalesced[-1]
+                if prev[1] + 1 == seg[0] and prev[2] == seg[2] \
+                        and prev[3] == seg[3]:
+                    prev[1] = seg[1]
+                    continue
+            coalesced.append(seg)
+        segs[splice_lo:splice_hi] = coalesced
 
     def forget_server(self, server_id: str) -> None:
         """Drop a failed server from every entry's read-site set.
@@ -133,46 +259,72 @@ class MergedIntervalMap:
         server tuple; reads of those LSNs raise until the client
         re-initializes against a fresh quorum.
         """
-        for lsn, entry in list(self._entries.items()):
-            if server_id in entry.servers:
-                remaining = tuple(s for s in entry.servers if s != server_id)
-                self._entries[lsn] = MergedEntry(lsn, entry.epoch, remaining)
+        segs = self._segs
+        for seg in segs:
+            if server_id in seg[3]:
+                seg[3] = tuple(s for s in seg[3] if s != server_id)
+        # removal can make neighbours equal; re-coalesce in place.
+        coalesced: list[list] = []
+        for seg in segs:
+            if coalesced:
+                prev = coalesced[-1]
+                if prev[1] + 1 == seg[0] and prev[2] == seg[2] \
+                        and prev[3] == seg[3]:
+                    prev[1] = seg[1]
+                    continue
+            coalesced.append(seg)
+        self._segs = coalesced
 
     # -- queries ------------------------------------------------------
 
+    def _seg_for(self, lsn: LSN) -> list | None:
+        segs = self._segs
+        i = bisect_right(segs, lsn, key=_seg_lo) - 1
+        if i >= 0:
+            seg = segs[i]
+            if seg[1] >= lsn:
+                return seg
+        return None
+
     def __contains__(self, lsn: LSN) -> bool:
-        return lsn in self._entries
+        return self._seg_for(lsn) is not None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(seg[1] - seg[0] + 1 for seg in self._segs)
 
     def entry(self, lsn: LSN) -> MergedEntry | None:
-        return self._entries.get(lsn)
+        seg = self._seg_for(lsn)
+        if seg is None:
+            return None
+        return MergedEntry(lsn, seg[2], seg[3])
 
     def servers_for(self, lsn: LSN) -> tuple[str, ...]:
         """Servers known to hold the winning version of ``lsn``."""
-        entry = self._entries.get(lsn)
-        return entry.servers if entry is not None else ()
+        seg = self._seg_for(lsn)
+        return seg[3] if seg is not None else ()
 
     def epoch_of(self, lsn: LSN) -> Epoch | None:
-        entry = self._entries.get(lsn)
-        return entry.epoch if entry is not None else None
+        seg = self._seg_for(lsn)
+        return seg[2] if seg is not None else None
 
     def high_lsn(self) -> LSN | None:
         """The highest merged LSN — the EndOfLog answer, or None if empty."""
-        if not self._entries:
-            return None
-        return max(self._entries)
+        segs = self._segs
+        return segs[-1][1] if segs else None
 
     def highest_epoch(self) -> Epoch:
         """The highest epoch appearing anywhere in the merged map."""
-        if not self._entries:
+        segs = self._segs
+        if not segs:
             return 0
-        return max(e.epoch for e in self._entries.values())
+        return max(seg[2] for seg in segs)
 
     def lsns(self) -> list[LSN]:
         """All merged LSNs in increasing order."""
-        return sorted(self._entries)
+        out: list[LSN] = []
+        for seg in self._segs:
+            out.extend(range(seg[0], seg[1] + 1))
+        return out
 
     def gaps(self) -> list[LSN]:
         """LSNs missing between 1 and ``high_lsn`` (diagnostic aid).
@@ -180,10 +332,20 @@ class MergedIntervalMap:
         A correctly maintained replicated log has no gaps; recovery
         tests use this to assert the invariant.
         """
-        high = self.high_lsn()
-        if high is None:
+        segs = self._segs
+        if not segs:
             return []
-        return [lsn for lsn in range(1, high + 1) if lsn not in self._entries]
+        out: list[LSN] = []
+        expected = 1
+        for seg in segs:
+            if seg[0] > expected:
+                out.extend(range(expected, seg[0]))
+            expected = seg[1] + 1
+        return out
+
+    def segments(self) -> list[tuple[LSN, LSN, Epoch, tuple[str, ...]]]:
+        """The coalesced ``(lo, hi, epoch, servers)`` runs (diagnostic)."""
+        return [tuple(seg) for seg in self._segs]
 
 
 def intervals_from_lsns(

@@ -53,14 +53,17 @@ class LogRecord:
         return len(self.data)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class StoredRecord:
     """A record as stored by a log server (Section 3.1.1).
 
     A stored record is uniquely identified by its ``(lsn, epoch)`` pair.
     When ``present`` is false no log data need be stored; such records
     are written by the client-restart procedure to mask partially
-    written records.
+    written records.  Not frozen: a frozen dataclass pays an
+    ``object.__setattr__`` call per field at construction, and stored
+    records are minted once per log record on the simulation hot path.
+    Treat instances as immutable regardless.
     """
 
     lsn: LSN

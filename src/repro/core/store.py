@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .errors import ProtocolError, RecordNotStored, ServerUnavailable
-from .intervals import Interval, ServerIntervals, intervals_from_lsns
+from .intervals import Interval, ServerIntervals
 from .records import Epoch, LSN, StoredRecord
 
 
@@ -45,13 +45,18 @@ class ClientLogState:
     staged: dict[Epoch, list[StoredRecord]] = field(default_factory=dict)
     #: fast lookup of the highest-epoch copy of each LSN.
     _by_lsn: dict[LSN, StoredRecord] = field(default_factory=dict)
+    #: highest LSN ever written, maintained on append (O(1) reads).
+    _high_lsn: LSN | None = None
+    #: maximal consecutive-LSN/same-epoch runs as ``[epoch, lo, hi]``,
+    #: maintained incrementally: append order *is* (epoch, lsn) sorted
+    #: order (the write-order rules enforce it), so extending the last
+    #: run reproduces exactly what compressing all records would build.
+    _runs: list[list] = field(default_factory=list)
 
     @property
     def high_lsn(self) -> LSN | None:
         """Highest LSN ever written here, or None if empty."""
-        if not self._by_lsn:
-            return None
-        return max(self._by_lsn)
+        return self._high_lsn
 
     @property
     def high_epoch(self) -> Epoch:
@@ -86,9 +91,17 @@ class ClientLogState:
                     f"new-epoch LSN {record.lsn} below 1"
                 )
         self.records.append(record)
-        cur = self._by_lsn.get(record.lsn)
+        lsn = record.lsn
+        cur = self._by_lsn.get(lsn)
         if cur is None or record.epoch > cur.epoch:
-            self._by_lsn[record.lsn] = record
+            self._by_lsn[lsn] = record
+        if self._high_lsn is None or lsn > self._high_lsn:
+            self._high_lsn = lsn
+        runs = self._runs
+        if runs and runs[-1][0] == record.epoch and runs[-1][2] == lsn - 1:
+            runs[-1][2] = lsn
+        else:
+            runs.append([record.epoch, lsn, lsn])
 
     def _min_restart_lsn(self) -> LSN:
         return 1
@@ -99,7 +112,7 @@ class ClientLogState:
 
     def intervals(self) -> tuple[Interval, ...]:
         """The consecutive-LSN / same-epoch runs stored here."""
-        return intervals_from_lsns((r.lsn, r.epoch) for r in self.records)
+        return tuple(Interval(e, lo, hi) for e, lo, hi in self._runs)
 
     def stage_copy(self, record: StoredRecord) -> None:
         """Stage a CopyLog record for later atomic installation."""
@@ -195,6 +208,58 @@ class LogServerStore:
             data=data if present else b"", kind=kind,
         )
         state.append(record)
+        self.write_ops += 1
+
+    def server_write_record(self, client_id: str, record: StoredRecord) -> None:
+        """ServerWriteLog taking a ready :class:`StoredRecord`.
+
+        Stored records are immutable and already enforce the
+        present/data invariant, so the simulated server keeps the
+        caller's object instead of rebuilding an identical one — this
+        is the per-record hot path of the target-load experiment.
+        """
+        self._check_up()
+        state = self._clients.get(client_id)
+        if state is None:
+            state = self.client_state(client_id)
+        lsn = record.lsn
+        epoch = record.epoch
+        existing = state._by_lsn.get(lsn)
+        if existing is not None and existing.epoch == epoch:
+            if existing.present == record.present \
+                    and existing.data == record.data:
+                return  # duplicate retransmission
+            raise ProtocolError(
+                f"conflicting rewrite of ⟨{lsn},{epoch}⟩ "
+                f"on {self.server_id}"
+            )
+        # ClientLogState.append inlined: the call and its second
+        # ``_by_lsn`` probe (``existing`` is already in hand) are
+        # measurable at one invocation per stored record.
+        records = state.records
+        if records:
+            last = records[-1]
+            if epoch < last.epoch:
+                raise ProtocolError(
+                    f"epoch went backwards: {last.epoch} -> {epoch}"
+                )
+            if epoch == last.epoch and lsn <= last.lsn:
+                raise ProtocolError(
+                    f"LSN did not advance within epoch {epoch}: "
+                    f"{last.lsn} -> {lsn}"
+                )
+            if epoch > last.epoch and lsn < state._min_restart_lsn():
+                raise ProtocolError(f"new-epoch LSN {lsn} below 1")
+        records.append(record)
+        if existing is None or epoch > existing.epoch:
+            state._by_lsn[lsn] = record
+        if state._high_lsn is None or lsn > state._high_lsn:
+            state._high_lsn = lsn
+        runs = state._runs
+        if runs and runs[-1][0] == epoch and runs[-1][2] == lsn - 1:
+            runs[-1][2] = lsn
+        else:
+            runs.append([epoch, lsn, lsn])
         self.write_ops += 1
 
     def server_read_log(self, client_id: str, lsn: LSN) -> StoredRecord:

@@ -25,6 +25,7 @@ Index (see DESIGN.md §4):
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 from ..analysis.constants import DEFAULT_MIPS, CpuModel
@@ -220,6 +221,26 @@ class TargetLoadResult:
     bytes_per_server_s: float
     messages_shed: int
     failed_drivers: int
+    #: wall-clock cost of the whole run (setup + simulation), and the
+    #: kernel's own work accounting — process resumptions executed and
+    #: simulated seconds covered — so benchmarks can report events/sec
+    #: and the sim-time/wall-time ratio without re-instrumenting.
+    kernel_events: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.kernel_events / self.wall_seconds
+
+    @property
+    def sim_time_ratio(self) -> float:
+        """Simulated seconds advanced per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.sim_seconds / self.wall_seconds
 
     def rows(self) -> list[tuple[str, str, str]]:
         """Measured values next to expectations derived from the config.
@@ -255,6 +276,7 @@ class TargetLoadResult:
 
 def run_target_load(config: TargetLoadConfig = TargetLoadConfig()) -> TargetLoadResult:
     """Simulate the paper's 500-TPS configuration end to end."""
+    wall_start = time.perf_counter()
     sim = Simulator()
     metrics = MetricSet()
     rng = random.Random(config.seed)
@@ -375,6 +397,9 @@ def run_target_load(config: TargetLoadConfig = TargetLoadConfig()) -> TargetLoad
         bytes_per_server_s=bytes_stored,
         messages_shed=sum(s.messages_shed for s in servers.values()),
         failed_drivers=failed,
+        kernel_events=sim.events_processed,
+        wall_seconds=time.perf_counter() - wall_start,
+        sim_seconds=sim.now,
     )
 
 

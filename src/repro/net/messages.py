@@ -19,7 +19,7 @@ Synchronous calls from client to log server::
     CopyLog(ClientId, EpochNum, LSNs, LogRecords, PresentFlags)
     InstallCopies(ClientId, EpochNum)
 
-All messages are small frozen dataclasses with a ``wire_size`` so the
+All messages are small dataclasses with a ``wire_size`` so the
 LAN model can charge transmission time.  Multi-record messages carry
 consecutive LSNs ("client processes and log servers attempt to pack as
 many log records as will fit in a network packet in each call").
@@ -42,7 +42,7 @@ def records_wire_size(records: tuple[StoredRecord, ...]) -> int:
     return sum(RECORD_HEADER_BYTES + len(r.data) for r in records)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Message:
     """Base for all protocol messages."""
 
@@ -70,7 +70,7 @@ def _check_consecutive(records: tuple[StoredRecord, ...], epoch: Epoch) -> None:
 # -- asynchronous, client -> server ---------------------------------------
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class WriteLogMsg(Message):
     """Buffered write: no acknowledgment requested."""
 
@@ -95,7 +95,7 @@ class WriteLogMsg(Message):
         return self.records[-1].lsn
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ForceLogMsg(WriteLogMsg):
     """Write requiring an immediate NewHighLSN acknowledgment.
 
@@ -105,7 +105,7 @@ class ForceLogMsg(WriteLogMsg):
     """
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class NewIntervalMsg(Message):
     """Tell the server to start a new interval at ``starting_lsn``.
 
@@ -120,7 +120,7 @@ class NewIntervalMsg(Message):
 # -- asynchronous, server -> client ---------------------------------------
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class NewHighLSNMsg(Message):
     """Acknowledgment: all records up to ``new_high_lsn`` are durable here.
 
@@ -131,7 +131,7 @@ class NewHighLSNMsg(Message):
     new_high_lsn: LSN = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class MissingIntervalMsg(Message):
     """Negative acknowledgment: the server saw a gap ``[lo, hi]``.
 
@@ -147,12 +147,12 @@ class MissingIntervalMsg(Message):
 # -- synchronous calls -------------------------------------------------------
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class IntervalListCall(Message):
     """Request the server's interval list for this client."""
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class IntervalListReply(Message):
     intervals: tuple[Interval, ...] = ()
 
@@ -162,21 +162,21 @@ class IntervalListReply(Message):
         return MESSAGE_HEADER_BYTES + 12 * len(self.intervals)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReadLogForwardCall(Message):
     """Read records with LSNs >= ``lsn``, as many as fit in a packet."""
 
     lsn: LSN = 1
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReadLogBackwardCall(Message):
     """Read records with LSNs <= ``lsn``, as many as fit in a packet."""
 
     lsn: LSN = 1
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ReadLogReply(Message):
     """Records with present flags; empty if the server stores none."""
 
@@ -187,7 +187,7 @@ class ReadLogReply(Message):
         return MESSAGE_HEADER_BYTES + records_wire_size(self.records)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class CopyLogCall(Message):
     """Stage recovery copies (accepted below the high-water mark)."""
 
@@ -206,21 +206,21 @@ class CopyLogCall(Message):
         return MESSAGE_HEADER_BYTES + records_wire_size(self.records)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class InstallCopiesCall(Message):
     """Atomically install all records staged under ``epoch``."""
 
     epoch: Epoch = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class AckReply(Message):
     """Generic success reply for CopyLog / InstallCopies."""
 
     ok: bool = True
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ErrorReply(Message):
     """Generic failure reply for synchronous calls."""
 
@@ -236,17 +236,17 @@ class ErrorReply(Message):
 # service) but kept for the common message shape.
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class GeneratorReadCall(Message):
     """Read the representative's stored integer."""
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class GeneratorReadReply(Message):
     value: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class GeneratorWriteCall(Message):
     """Write a (higher) integer to the representative."""
 

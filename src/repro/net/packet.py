@@ -25,9 +25,14 @@ PACKET_PAYLOAD_BYTES = PACKET_MTU_BYTES - PACKET_HEADER_BYTES
 _packet_ids = itertools.count(1)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Packet:
-    """One frame on the wire."""
+    """One frame on the wire.
+
+    Not frozen: one packet is built per transmission, and a frozen
+    dataclass pays ``object.__setattr__`` per field at construction.
+    Treat instances as immutable regardless.
+    """
 
     src: str
     dst: str
@@ -44,12 +49,14 @@ class Packet:
     #: kind tag: "data" | "syn" | "synack" | "ack".
     kind: str = "data"
     #: globally unique frame id (diagnostics; re-used by duplicates).
-    frame_id: int = field(default_factory=lambda: next(_packet_ids))
+    frame_id: int = field(default_factory=_packet_ids.__next__)
+    #: total frame bytes, computed once at construction: the LAN model
+    #: reads it several times per transmission, and message payloads
+    #: recompute their record sums on every access.
+    wire_size: int = field(init=False, default=0)
 
-    @property
-    def wire_size(self) -> int:
-        payload_size = getattr(self.payload, "wire_size", 0)
-        return PACKET_HEADER_BYTES + payload_size
+    def __post_init__(self) -> None:
+        self.wire_size = PACKET_HEADER_BYTES + getattr(self.payload, "wire_size", 0)
 
     def duplicate(self) -> "Packet":
         """A byte-identical duplicate (same frame id) for dup injection."""

@@ -26,7 +26,7 @@ DEFAULT_RPC_TIMEOUT_S = 0.5
 DEFAULT_RPC_RETRIES = 2
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class RpcRequest:
     rpc_id: int
     body: Any
@@ -36,7 +36,7 @@ class RpcRequest:
         return 8 + getattr(self.body, "wire_size", 0)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class RpcReply:
     rpc_id: int
     body: Any

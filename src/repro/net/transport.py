@@ -95,12 +95,15 @@ class Connection:
             yield self.sim.any_of([waiter, timeout])
         if not self.open:
             raise ServerUnavailable(self.remote_id, "connection closed")
+        # _current_grant() inlined (one call per data packet).
+        grant = self.inbox.total_got + DEFAULT_WINDOW
+        self._granted = grant
         packet = Packet(
             src=self.endpoint.node_id,
             dst=self.remote_id,
             conn_id=self.remote_conn_id,
             seq=self._next_seq,
-            allocation=self._current_grant(),
+            allocation=grant,
             payload=message,
         )
         self._next_seq += 1
@@ -121,7 +124,16 @@ class Connection:
     # -- receiving (called by the endpoint's demux loop) --------------------
 
     def handle(self, packet: Packet) -> None:
-        self._note_allocation(packet.allocation)
+        # _note_allocation inlined — handle() runs once per received
+        # packet, and fresh allocation rides on nearly all of them.
+        allocation = packet.allocation
+        if allocation > self._peer_allocation:
+            self._peer_allocation = allocation
+            if self._alloc_waiters:
+                waiters, self._alloc_waiters = self._alloc_waiters, []
+                for waiter in waiters:
+                    if not waiter.triggered:
+                        waiter.succeed()
         if packet.kind != "data":
             return
         seq = packet.seq
@@ -196,10 +208,12 @@ class Endpoint:
         self._syn_table: dict[tuple[str, int], int] = {}
         self.accept_queue: Channel = Channel(sim, name=f"{node_id}.accept")
         self.crashed = False
-        self._demux_procs = [
-            sim.spawn(self._demux(nic), name=f"{node_id}.demux")
-            for nic in self._nics
-        ]
+        # Demux runs synchronously in each packet's delivery event:
+        # routing a packet never blocks, so a demux *process* would
+        # only add a kernel event and a generator resumption per
+        # packet between the NIC and the connection inbox.
+        for nic in self._nics:
+            nic.receiver = self._demux_packet
 
     @staticmethod
     def _attach(network: Any, node_id: str) -> list[Channel]:
@@ -210,24 +224,22 @@ class Endpoint:
 
     # -- demultiplexing ------------------------------------------------------
 
-    def _demux(self, nic: Channel):
-        while True:
-            packet: Packet = yield nic.get()
-            if self.crashed:
-                continue  # a down node receives nothing
-            if packet.kind == "syn":
-                self._handle_syn(packet)
-            elif packet.kind == "synack":
-                waiter = self._pending_syn.pop(packet.conn_id, None)
-                if waiter is not None and not waiter.triggered:
-                    waiter.succeed(packet)
-            else:
-                conn = self._connections.get(packet.conn_id)
-                if conn is not None:
-                    conn.handle(packet)
-                # packets for unknown (stale) connections are dropped:
-                # this is exactly the cross-crash duplicate rejection the
-                # permanently unique connection ids buy us.
+    def _demux_packet(self, packet: Packet) -> None:
+        if self.crashed:
+            return  # a down node receives nothing
+        if packet.kind == "syn":
+            self._handle_syn(packet)
+        elif packet.kind == "synack":
+            waiter = self._pending_syn.pop(packet.conn_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(packet)
+        else:
+            conn = self._connections.get(packet.conn_id)
+            if conn is not None:
+                conn.handle(packet)
+            # packets for unknown (stale) connections are dropped:
+            # this is exactly the cross-crash duplicate rejection the
+            # permanently unique connection ids buy us.
 
     def _handle_syn(self, packet: Packet) -> None:
         remote_conn_id = packet.payload  # client's conn id rides in the SYN

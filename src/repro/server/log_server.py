@@ -50,7 +50,7 @@ from ..net.rpc import RpcReply, RpcRequest
 from ..net.transport import Connection, Endpoint
 from ..sim.kernel import Simulator
 from ..sim.resources import Resource
-from ..sim.stats import MetricSet
+from ..sim.stats import Counter, MetricSet
 from ..storage.disk import SLOW_1987_DISK, DiskParams, SimDisk
 from ..storage.log_stream import DiskLogStream, StreamEntry
 from ..storage.nvram import NvramBuffer, NvramFullError
@@ -113,6 +113,23 @@ class SimLogServer:
         self.generator_rep = GeneratorStateRepresentative(
             f"{server_id}.genrep")
         self._proto: dict[str, ClientProtocolState] = {}
+        self._counters: dict[str, Counter] = {}
+        #: per-operation CPU charges are fixed for the node's lifetime;
+        #: resolving them through the CpuModel per packet is measurable
+        #: at target load.
+        self._packet_time = self.cpu_model.packet_time()
+        self._message_time = self.cpu_model.message_time()
+        self._track_write_time = self.cpu_model.track_write_time()
+        # hot-path counters resolved once (the cold ones go via _count)
+        counter = self.metrics.counter
+        self._c_packets_in = counter(f"{server_id}.packets_in")
+        self._c_packets_out = counter(f"{server_id}.packets_out")
+        self._c_force_msgs = counter(f"{server_id}.force_msgs")
+        self._c_write_msgs = counter(f"{server_id}.write_msgs")
+        self._c_records_stored = counter(f"{server_id}.records_stored")
+        self._c_bytes_stored = counter(f"{server_id}.bytes_stored")
+        self._c_ack_msgs = counter(f"{server_id}.ack_msgs")
+        self._c_rpcs = counter(f"{server_id}.rpcs")
         self._last_append_time = 0.0
         self._tracks_since_checkpoint = 0
         self.crashed = False
@@ -129,14 +146,15 @@ class SimLogServer:
             self._proto[client_id] = state
         return state
 
-    def _charge_packet(self):
-        yield from self.cpu.use(self.cpu_model.packet_time())
-
-    def _charge_message(self):
-        yield from self.cpu.use(self.cpu_model.message_time())
-
     def _count(self, name: str, amount: float = 1.0) -> None:
-        self.metrics.counter(f"{self.server_id}.{name}").add(amount)
+        # Counter objects are cached per name: building the qualified
+        # name and re-resolving it through the MetricSet dict for every
+        # stored record is measurable at target load.
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self.metrics.counter(f"{self.server_id}.{name}")
+            self._counters[name] = counter
+        counter.add(amount)
 
     # -- processes -----------------------------------------------------------
 
@@ -146,16 +164,127 @@ class SimLogServer:
             self.sim.spawn(self._serve(conn), name=f"{self.server_id}.serve")
 
     def _serve(self, conn: Connection):
+        sim = self.sim
+        cpu = self.cpu
+        inbox_get = conn.inbox.get
+        packet_time = self._packet_time
+        message_time = self._message_time
+        # Recovery rebinds self.store/self._proto, but a crash closes
+        # every connection first, ending this loop — so per-connection
+        # bindings can never go stale while still in use.
+        proto_map = self._proto
+        nvram = self.nvram
+        store_write = self.store.server_write_record
+        stream_append = self.stream.append
+        c_in = self._c_packets_in
+        c_force = self._c_force_msgs
+        c_write = self._c_write_msgs
+        c_records = self._c_records_stored
+        c_bytes = self._c_bytes_stored
         while conn.open:
-            message = yield conn.inbox.get()
+            message = yield inbox_get()
             if self.crashed:
                 continue
-            self._count("packets_in")
-            yield from self._charge_packet()
-            if isinstance(message, RpcRequest):
+            c_in.count += 1
+            c_in.total += 1.0
+            # _charge_packet inlined: no per-packet charge generator.
+            yield cpu.acquire()
+            try:
+                yield sim.timeout(packet_time)
+            finally:
+                cpu.release()
+                cpu.total_served += 1
+            # Write messages dominate the mix at target load, so they
+            # are dispatched first, and _handle_write is inlined into
+            # this loop: its own frame would otherwise be traversed on
+            # every kernel resumption of every per-message yield.
+            if isinstance(message, (ForceLogMsg, WriteLogMsg)):
+                forced = type(message) is ForceLogMsg
+                c = c_force if forced else c_write
+                c.count += 1
+                c.total += 1.0
+                cid = message.client_id
+                records = message.records
+                incoming = 24 * len(records)
+                for r in records:
+                    incoming += len(r.data)
+                if self.shed_policy.should_shed(incoming):
+                    self.messages_shed += 1
+                    self._count("msgs_shed")
+                    continue
+                yield cpu.acquire()
+                try:
+                    yield sim.timeout(message_time)
+                finally:
+                    cpu.release()
+                    cpu.total_served += 1
+                proto = proto_map.get(cid)
+                if proto is None:
+                    proto = self._proto_state(cid)
+                verdict = proto.classify_batch(
+                    records[0].lsn, records[-1].lsn, message.epoch
+                )
+                if verdict == "duplicate":
+                    if forced:
+                        yield from self._ack(conn, cid, proto.acked_high)
+                    continue
+                if verdict == "gap":
+                    yield from self._send(
+                        conn,
+                        MissingIntervalMsg(
+                            client_id=cid,
+                            lo=proto.expected_lsn, hi=records[0].lsn - 1,
+                        ),
+                    )
+                    self._count("missing_interval_msgs")
+                    continue
+                if verdict == "overlap":
+                    records = tuple(
+                        r for r in records if r.lsn >= proto.expected_lsn
+                    )
+                try:
+                    # _store_record inlined (the method remains for the
+                    # CopyLog path): one call per stored record.
+                    for record in records:
+                        entry = StreamEntry("write", cid, record)
+                        try:
+                            nvram.append(entry.byte_size)
+                        except NvramFullError:
+                            self._count("nvram_overflow")
+                            raise ProtocolError("nvram full") from None
+                        store_write(cid, record)
+                        stream_append(entry)
+                        self._last_append_time = sim.now
+                        c_records.count += 1
+                        c_records.total += 1.0
+                        c_bytes.count += 1
+                        c_bytes.total += len(record.data)
+                except ProtocolError:
+                    # A stale retransmission from an older epoch.
+                    self._count("stale_msgs")
+                    continue
+                if records:
+                    proto.note_stored(records[-1].lsn, message.epoch)
+                if forced:
+                    if not self.nvram_enabled and self.nvram.level > 0:
+                        # No non-volatile buffer: the force is durable
+                        # only once the pending data reaches the disk.
+                        yield from self._flush(self.nvram.level)
+                    # _ack/_send inlined likewise.
+                    self._c_ack_msgs.add()
+                    yield cpu.acquire()
+                    try:
+                        yield sim.timeout(packet_time)
+                    finally:
+                        cpu.release()
+                        cpu.total_served += 1
+                    self._c_packets_out.add()
+                    yield from conn.send(
+                        NewHighLSNMsg(client_id=cid,
+                                      new_high_lsn=proto.acked_high)
+                    )
+            elif isinstance(message, RpcRequest):
                 yield from self._handle_rpc(conn, message)
-            elif isinstance(message, (ForceLogMsg, WriteLogMsg)):
-                yield from self._handle_write(conn, message)
             elif isinstance(message, NewIntervalMsg):
                 self._handle_new_interval(message)
 
@@ -173,7 +302,7 @@ class SimLogServer:
                 yield from self._flush(self.nvram.level)
 
     def _flush(self, nbytes: int):
-        yield from self.cpu.use(self.cpu_model.track_write_time())
+        yield from self.cpu.use(self._track_write_time)
         yield from self.disk.write_track(nbytes)
         self.nvram.drain(nbytes)
         self.stream.seal_track()
@@ -184,52 +313,6 @@ class SimLogServer:
             self._tracks_since_checkpoint = 0
 
     # -- asynchronous writes ----------------------------------------------------
-
-    def _handle_write(self, conn: Connection, msg: WriteLogMsg):
-        forced = isinstance(msg, ForceLogMsg)
-        self._count("force_msgs" if forced else "write_msgs")
-        incoming = sum(len(r.data) + 24 for r in msg.records)
-        if self.shed_policy.should_shed(incoming):
-            self.messages_shed += 1
-            self._count("msgs_shed")
-            return
-        yield from self._charge_message()
-        proto = self._proto_state(msg.client_id)
-        verdict = proto.classify_batch(msg.low_lsn, msg.high_lsn, msg.epoch)
-        if verdict == "duplicate":
-            if forced:
-                yield from self._ack(conn, msg.client_id, proto.acked_high)
-            return
-        if verdict == "gap":
-            yield from self._send(
-                conn,
-                MissingIntervalMsg(
-                    client_id=msg.client_id,
-                    lo=proto.expected_lsn, hi=msg.low_lsn - 1,
-                ),
-            )
-            self._count("missing_interval_msgs")
-            return
-        records = msg.records
-        if verdict == "overlap":
-            records = tuple(
-                r for r in records if r.lsn >= proto.expected_lsn
-            )
-        try:
-            for record in records:
-                self._store_record(msg.client_id, record, kind_entry="write")
-        except ProtocolError:
-            # A stale retransmission from an older epoch; ignore it.
-            self._count("stale_msgs")
-            return
-        if records:
-            proto.note_stored(records[-1].lsn, msg.epoch)
-        if forced:
-            if not self.nvram_enabled and self.nvram.level > 0:
-                # No non-volatile buffer: the force is durable only
-                # once the pending data reaches the disk.
-                yield from self._flush(self.nvram.level)
-            yield from self._ack(conn, msg.client_id, proto.acked_high)
 
     def _store_record(
         self, client_id: str, record: StoredRecord, kind_entry: str
@@ -242,10 +325,7 @@ class SimLogServer:
             self._count("nvram_overflow")
             raise ProtocolError("nvram full") from None
         if kind_entry == "write":
-            self.store.server_write_log(
-                client_id, record.lsn, record.epoch,
-                record.present, record.data, record.kind,
-            )
+            self.store.server_write_record(client_id, record)
         else:
             self.store.copy_log(
                 client_id, record.lsn, record.epoch,
@@ -253,18 +333,30 @@ class SimLogServer:
             )
         self.stream.append(entry)
         self._last_append_time = self.sim.now
-        self._count("records_stored")
-        self._count("bytes_stored", len(record.data))
+        # Counter.add inlined for the two per-record counters.
+        c = self._c_records_stored
+        c.count += 1
+        c.total += 1.0
+        c = self._c_bytes_stored
+        c.count += 1
+        c.total += len(record.data)
 
     def _ack(self, conn: Connection, client_id: str, high: int):
-        self._count("ack_msgs")
+        self._c_ack_msgs.add()
         yield from self._send(
             conn, NewHighLSNMsg(client_id=client_id, new_high_lsn=high)
         )
 
     def _send(self, conn: Connection, message):
-        yield from self._charge_packet()
-        self._count("packets_out")
+        # _charge_packet inlined (acks ride this path once per force).
+        cpu = self.cpu
+        yield cpu.acquire()
+        try:
+            yield self.sim.timeout(self._packet_time)
+        finally:
+            cpu.release()
+            cpu.total_served += 1
+        self._c_packets_out.add()
         yield from conn.send(message)
 
     def _handle_new_interval(self, msg: NewIntervalMsg) -> None:
@@ -277,7 +369,7 @@ class SimLogServer:
 
     def _handle_rpc(self, conn: Connection, request: RpcRequest):
         body = request.body
-        self._count("rpcs")
+        self._c_rpcs.add()
         if isinstance(body, IntervalListCall):
             reply = self._do_interval_list(body)
         elif isinstance(body, ReadLogForwardCall):

@@ -7,20 +7,52 @@ Two primitives cover everything the log-server and client models need:
   quantity Section 4.1 reasons about; and
 * :class:`Channel` — an unbounded FIFO of messages with blocking
   ``get``, used for process mailboxes.
+
+Hot-path contract (mirrors the kernel's pooling caveat): the events
+returned by ``Channel.get`` and ``Resource.acquire`` must be yielded
+immediately — ``msg = yield ch.get()`` — not stored, re-yielded later,
+or combined with ``any_of``/``all_of``.  The non-blocking paths return
+a shared pre-triggered event per channel/resource (consumed inline by
+the yielding process with no allocation and no heap traffic), and
+blocked waiters are recycled through the kernel's event free list
+after delivery.  Every use in this repository follows the contract.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Any
 
 from .kernel import Event, Simulator
 
 
-@dataclass(slots=True)
-class _Grant:
-    event: Event
+def _wake_waiter(ev: Event, value: Any) -> None:
+    """Deliver ``value`` to a queued waiter event.
+
+    The dominant case — a sole waiting process in the ``_proc`` slot —
+    is handed to the kernel as a direct-resume heap entry (``None``
+    callback), which resumes the process at the pop and recycles the
+    event object.  Demoted or not-yet-waited events fall back to the
+    general trigger and are not recycled.
+    """
+    if ev._proc is not None:
+        ev._value = value
+        sim = ev.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        sim._ready.append((seq, None, ev))
+    else:
+        ev.succeed(value)
+
+
+def _pooled_event(sim: Simulator, name: str) -> Event:
+    """A fresh untriggered event, reusing the kernel free list."""
+    pool = sim._event_pool
+    if pool:
+        ev = pool.pop()
+        ev.name = name
+        return ev
+    return Event(sim, name)
 
 
 class Resource:
@@ -48,8 +80,16 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        #: precomputed grant-event name (acquire() is a hot path; an
+        #: f-string per call shows up in profiles)
+        self._acquire_name = name + ".acquire"
+        #: shared grant event for the uncontended case: always
+        #: triggered, value always 0.0 (no queueing delay)
+        self._ready_ev = Event(sim, self._acquire_name)
+        self._ready_ev._triggered = True
+        self._ready_ev._value = 0.0
         self._in_use = 0
-        self._queue: deque[_Grant] = deque()
+        self._queue: deque[Event] = deque()
         # utilization accounting
         self._busy_integral = 0.0
         self._last_change = sim.now
@@ -104,19 +144,22 @@ class Resource:
     def acquire(self) -> Event:
         """An event that succeeds when a unit of the resource is granted.
 
-        The event's value is the time spent queueing.
+        The event's value is the time spent queueing.  Yield it
+        immediately (see the module hot-path contract).
         """
-        ev = self.sim.event(f"{self.name}.acquire")
         if self._in_use < self.capacity:
-            self._account()
+            # inlined _account()/_note_wait(0): granting an idle unit
+            # is the dominant case and sits on the hot path.
+            now = self.sim.now
+            self._busy_integral += self._in_use * (now - self._last_change)
+            self._last_change = now
             self._in_use += 1
-            self._note_wait(0.0)
-            ev.succeed(0.0)
-        else:
-            grant = _Grant(ev)
-            # Stash enqueue time on the event for wait accounting.
-            ev._value = self.sim.now  # reused as enqueue timestamp
-            self._queue.append(grant)
+            self._wait_count += 1
+            return self._ready_ev
+        ev = _pooled_event(self.sim, self._acquire_name)
+        # Stash enqueue time on the event for wait accounting.
+        ev._value = self.sim.now  # reused as enqueue timestamp
+        self._queue.append(ev)
         return ev
 
     def release(self) -> None:
@@ -124,16 +167,18 @@ class Resource:
         if self._in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
         if self._queue:
-            grant = self._queue.popleft()
-            waited = self.sim.now - grant.event._value
-            grant.event._value = None
+            ev = self._queue.popleft()
+            waited = self.sim.now - ev._value
             self._note_wait(waited)
-            self.total_served += 0  # grant below counts on completion
-            grant.event.succeed(waited)
+            _wake_waiter(ev, waited)
             # _in_use stays the same: the unit moves to the next holder.
             self._account()
         else:
-            self._account()
+            # _account() inlined: the uncontended release is on the
+            # per-packet hot path.
+            now = self.sim.now
+            self._busy_integral += self._in_use * (now - self._last_change)
+            self._last_change = now
             self._in_use -= 1
 
     def _note_wait(self, waited: float) -> None:
@@ -160,12 +205,18 @@ class Channel:
 
     ``put`` never blocks (the paper's servers shed load explicitly
     rather than by back-pressure, Section 4.2).  ``get`` returns an
-    event yielding the next message.
+    event yielding the next message; yield it immediately (see the
+    module hot-path contract).
     """
 
     def __init__(self, sim: Simulator, name: str = "channel"):
         self.sim = sim
         self.name = name
+        self._get_name = name + ".get"
+        #: shared get event for the non-empty case; its value is
+        #: rewritten per get and consumed inline by the yielder.
+        self._ready_ev = Event(sim, self._get_name)
+        self._ready_ev._triggered = True
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         self.total_put = 0
@@ -174,23 +225,59 @@ class Channel:
         #: optional callback invoked whenever a message is consumed;
         #: the transport uses it to grant flow-control allocation.
         self.consume_hook = None
+        #: optional synchronous receiver: when set, ``put`` hands the
+        #: item straight to this callable instead of queueing it.  The
+        #: network endpoint demultiplexer uses it — per-packet demux is
+        #: entirely non-blocking, so routing in the delivery event
+        #: avoids one kernel event and one process resumption per
+        #: packet received.
+        self.receiver = None
 
     def put(self, item: Any) -> None:
         self.total_put += 1
-        if self._getters:
-            self._getters.popleft().succeed(item)
-            self._note_consumed()
+        receiver = self.receiver
+        if receiver is not None:
+            self.total_got += 1
+            receiver(item)
             return
-        self._items.append(item)
-        self.max_depth = max(self.max_depth, len(self._items))
+        if self._getters:
+            # inlined _wake_waiter/_note_consumed (hottest transport path)
+            ev = self._getters.popleft()
+            if ev._proc is not None:
+                ev._value = item
+                sim = self.sim
+                seq = sim._seq + 1
+                sim._seq = seq
+                sim._ready.append((seq, None, ev))
+            else:
+                ev.succeed(item)
+            self.total_got += 1
+            if self.consume_hook is not None:
+                self.consume_hook()
+            return
+        items = self._items
+        items.append(item)
+        if len(items) > self.max_depth:
+            self.max_depth = len(items)
 
     def get(self) -> Event:
-        ev = self.sim.event(f"{self.name}.get")
-        if self._items:
-            ev.succeed(self._items.popleft())
-            self._note_consumed()
+        items = self._items
+        if items:
+            # shared pre-triggered event: the yielding process
+            # continues inline — no allocation, no heap round-trip.
+            ev = self._ready_ev
+            ev._value = items.popleft()
+            self.total_got += 1
+            if self.consume_hook is not None:
+                self.consume_hook()
+            return ev
+        pool = self.sim._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.name = self._get_name
         else:
-            self._getters.append(ev)
+            ev = Event(self.sim, self._get_name)
+        self._getters.append(ev)
         return ev
 
     def _note_consumed(self) -> None:

@@ -21,7 +21,7 @@ structure — is the authoritative server state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Literal
 
 from ..core.records import Epoch, StoredRecord
@@ -35,25 +35,29 @@ EntryKind = Literal["write", "copy", "install"]
 ENTRY_HEADER_BYTES = 24
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class StreamEntry:
-    """One durable effect in the log stream."""
+    """One durable effect in the log stream.
+
+    Not frozen (one entry per stored record on the hot path); treat
+    instances as immutable regardless.
+    """
 
     kind: EntryKind
     client_id: str
     record: StoredRecord | None = None
     epoch: Epoch | None = None  # for install markers
+    #: header + data bytes, computed once at construction — the server
+    #: reads it for NVRAM accounting and again for track packing.
+    byte_size: int = field(init=False, default=ENTRY_HEADER_BYTES)
 
     def __post_init__(self) -> None:
         if self.kind in ("write", "copy") and self.record is None:
             raise ValueError(f"{self.kind} entry requires a record")
         if self.kind == "install" and self.epoch is None:
             raise ValueError("install entry requires an epoch")
-
-    @property
-    def byte_size(self) -> int:
-        data = len(self.record.data) if self.record is not None else 0
-        return ENTRY_HEADER_BYTES + data
+        if self.record is not None:
+            self.byte_size = ENTRY_HEADER_BYTES + len(self.record.data)
 
 
 @dataclass(frozen=True, slots=True)

@@ -76,15 +76,24 @@ class NvramBuffer:
         """
         if nbytes < 0:
             raise ValueError("cannot append negative bytes")
-        if self._level + nbytes > self.data_capacity:
+        level = self._level + nbytes
+        if level > self.capacity_bytes - self.reserved_for_intervals:
             self.sheds += 1
             raise NvramFullError(
                 f"buffer at {self._level}/{self.data_capacity} bytes, "
                 f"cannot take {nbytes}"
             )
-        self._level += nbytes
+        self._level = level
         self.total_appended += nbytes
-        self.occupancy.set(self._level, self.sim.now)
+        # occupancy.set() inlined: one call per stored record, and sim
+        # time never goes backwards here.
+        occ = self.occupancy
+        now = self.sim.now
+        occ._integral += occ._level * (now - occ._last_time)
+        occ._level = level
+        occ._last_time = now
+        if level > occ._max:
+            occ._max = level
 
     def drain(self, nbytes: int) -> int:
         """Remove up to ``nbytes`` (one track's worth) after a disk write.

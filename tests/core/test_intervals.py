@@ -163,3 +163,132 @@ class TestMergedIntervalMap:
         # epoch 3 wins for LSN 3
         assert merged.epoch_of(3) == 3
         assert set(merged.servers_for(3)) == {"s1", "s3"}
+
+
+class _NaiveMergedMap:
+    """Per-LSN reference model of the merge rule.
+
+    Applies the Section 3.1.2 rule one LSN at a time — higher epoch
+    replaces, equal epoch adds a read site, lower epoch is ignored —
+    with none of the segment arithmetic the real map uses.
+    """
+
+    def __init__(self):
+        self.entries = {}  # lsn -> [epoch, [servers in arrival order]]
+
+    def note(self, lsn, epoch, server_id):
+        cur = self.entries.get(lsn)
+        if cur is None or epoch > cur[0]:
+            self.entries[lsn] = [epoch, [server_id]]
+        elif epoch == cur[0] and server_id not in cur[1]:
+            cur[1].append(server_id)
+
+    def note_range(self, lo, hi, epoch, server_id):
+        for lsn in range(lo, hi + 1):
+            self.note(lsn, epoch, server_id)
+
+    def forget_server(self, server_id):
+        for entry in self.entries.values():
+            if server_id in entry[1]:
+                entry[1].remove(server_id)
+
+    def epoch_of(self, lsn):
+        cur = self.entries.get(lsn)
+        return cur[0] if cur is not None else None
+
+    def servers_for(self, lsn):
+        cur = self.entries.get(lsn)
+        return tuple(cur[1]) if cur is not None else ()
+
+    def lsns(self):
+        return sorted(self.entries)
+
+    def high_lsn(self):
+        return max(self.entries) if self.entries else None
+
+    def highest_epoch(self):
+        if not self.entries:
+            return 0
+        return max(e[0] for e in self.entries.values())
+
+    def gaps(self):
+        if not self.entries:
+            return []
+        return [l for l in range(1, max(self.entries))
+                if l not in self.entries]
+
+
+class TestMergePropertyBased:
+    """The segment map ≡ the naive per-LSN model on random histories.
+
+    One case = a random initialization merge (random interval lists
+    from a few servers) followed by a random mix of ``note`` and
+    ``forget_server`` operations, applied to both implementations and
+    compared on every query the client algorithm uses.  A thousand
+    cases keep the boundary arithmetic of ``_note_range`` (splits,
+    overlaps, gap fills, coalescing across the splice window) honest.
+    """
+
+    CASES = 1000
+    MAX_LSN = 36
+
+    def _check_equal(self, merged, naive):
+        assert merged.high_lsn() == naive.high_lsn()
+        assert merged.highest_epoch() == naive.highest_epoch()
+        assert merged.lsns() == naive.lsns()
+        assert merged.gaps() == naive.gaps()
+        assert len(merged) == len(naive.entries)
+        for lsn in range(0, self.MAX_LSN + 4):
+            assert (lsn in merged) == (lsn in naive.entries)
+            assert merged.epoch_of(lsn) == naive.epoch_of(lsn)
+            assert merged.servers_for(lsn) == naive.servers_for(lsn)
+            entry = merged.entry(lsn)
+            if lsn in naive.entries:
+                assert entry is not None and entry.lsn == lsn
+                assert entry.epoch == naive.epoch_of(lsn)
+                assert entry.servers == naive.servers_for(lsn)
+            else:
+                assert entry is None
+        # structural invariants: disjoint, sorted segments
+        segs = merged.segments()
+        for (lo, hi, epoch, servers) in segs:
+            assert lo <= hi
+            assert epoch >= 1
+        for a, b in zip(segs, segs[1:]):
+            assert a[1] < b[0]
+
+    def test_random_histories_match_naive_reference(self):
+        import random as _random
+
+        rng = _random.Random(0x5EC41)
+        servers = ["s1", "s2", "s3", "s4"]
+        for _case in range(self.CASES):
+            # -- random initialization merge --------------------------
+            reports = []
+            for server_id in servers[: rng.randint(1, 4)]:
+                intervals = []
+                for _ in range(rng.randint(0, 4)):
+                    lo = rng.randint(1, self.MAX_LSN)
+                    hi = min(self.MAX_LSN, lo + rng.randint(0, 9))
+                    intervals.append(Interval(rng.randint(1, 4), lo, hi))
+                reports.append(ServerIntervals(server_id, tuple(intervals)))
+            merged = MergedIntervalMap.merge(reports)
+            naive = _NaiveMergedMap()
+            for report in reports:
+                for interval in report:
+                    naive.note_range(interval.lo, interval.hi,
+                                     interval.epoch, report.server_id)
+            # -- random incremental history ---------------------------
+            for _op in range(rng.randint(0, 25)):
+                roll = rng.random()
+                if roll < 0.08:
+                    victim = rng.choice(servers)
+                    merged.forget_server(victim)
+                    naive.forget_server(victim)
+                else:
+                    lsn = rng.randint(1, self.MAX_LSN)
+                    epoch = rng.randint(1, 4)
+                    server_id = rng.choice(servers)
+                    merged.note(lsn, epoch, server_id)
+                    naive.note(lsn, epoch, server_id)
+            self._check_equal(merged, naive)
