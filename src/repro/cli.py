@@ -18,7 +18,9 @@ import sys
 from .analysis import CapacityConfig, analyze
 from .core.availability import figure_3_4_series
 from .harness import (
+    ChurnConfig,
     TargetLoadConfig,
+    run_availability_churn,
     run_degraded_mode,
     run_load_sweep,
     run_paper_figure_states,
@@ -122,6 +124,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    result = run_availability_churn(ChurnConfig(
+        servers=args.servers, copies=args.copies, clients=args.clients,
+        p=args.p, mtbf_s=args.mtbf, duration_s=args.duration,
+        tps_per_client=args.tps, seed=args.seed,
+        link_p=args.link_p, generator_p=args.generator_p,
+    ))
+    print(format_table(
+        ["quantity", "measured", "closed form"], result.rows(),
+        title=(f"Section 3.2 under churn — M={args.servers}, "
+               f"N={args.copies}, p={args.p}, {args.duration:.0f}s"),
+    ))
+    print(f"\nserver crashes: {result.server_crashes} "
+          f"(mttr {result.mttr_s:.2f}s); "
+          f"link crashes: {result.link_crashes}; "
+          f"generator crashes: {result.generator_crashes}")
+    print(f"transactions committed: {result.committed_txns}, "
+          f"failed: {result.failed_txns}; "
+          f"client initializations: {result.client_reinits}; "
+          f"write-set migrations: {result.server_switches}")
+    return 0
+
+
 def _cmd_restart(args: argparse.Namespace) -> int:
     rows = run_restart_latency()
     print(format_table(
@@ -179,6 +204,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="offered-load saturation sweep")
     p.add_argument("--duration", type=float, default=2.0)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "churn", help="measured vs closed-form availability under "
+                      "crash/repair churn")
+    p.add_argument("--servers", type=int, default=6)
+    p.add_argument("--copies", type=int, default=2)
+    p.add_argument("--clients", type=int, default=3)
+    p.add_argument("--p", type=float, default=0.05,
+                   help="per-server long-run unavailability (default 0.05)")
+    p.add_argument("--mtbf", type=float, default=30.0,
+                   help="mean time between server failures, seconds")
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="simulated seconds of churn (default 120)")
+    p.add_argument("--tps", type=float, default=10.0,
+                   help="ET1 transactions/second per client")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--link-p", type=float, default=0.0,
+                   help="LAN unavailability (message-loss churn)")
+    p.add_argument("--generator-p", type=float, default=0.0,
+                   help="generator-representative unavailability")
+    p.set_defaults(func=_cmd_churn)
 
     p = sub.add_parser("restart-latency", help="client init time vs M")
     p.set_defaults(func=_cmd_restart)

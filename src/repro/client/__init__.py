@@ -20,6 +20,7 @@ from .recovery_manager import (
     Database,
     RecoveryManager,
     Transaction,
+    TransactionAborted,
     TransactionError,
     TxnStatus,
     decode,
@@ -48,6 +49,7 @@ __all__ = [
     "SimLogBackend",
     "SimLogClient",
     "Transaction",
+    "TransactionAborted",
     "TransactionError",
     "TxnStatus",
     "UndoCache",

@@ -42,6 +42,7 @@ from ..core.errors import (
 )
 from ..core.intervals import MergedIntervalMap, ServerIntervals
 from ..core.records import Epoch, LogRecord, LSN, StoredRecord
+from ..core.retry import RetryPolicy
 from ..net.messages import (
     AckReply,
     CopyLogCall,
@@ -87,6 +88,8 @@ class SimLogClient:
         force_timeout_s: float = DEFAULT_FORCE_TIMEOUT_S,
         rng: random.Random | None = None,
         cpu_model: CpuModel | None = None,
+        retry_policy: RetryPolicy | None = None,
+        migrate_after_s: float | None = None,
     ):
         if len(server_ids) != config.total_servers:
             raise NotEnoughServers(
@@ -104,7 +107,22 @@ class SimLogClient:
         self.metrics = metrics if metrics is not None else MetricSet()
         self.assignment = assignment if assignment is not None else StickyAssignment()
         self.force_timeout_s = force_timeout_s
-        self.rng = rng if rng is not None else random.Random(hash(client_id) & 0xFFFF)
+        # a string seed hashes identically across processes (unlike
+        # hash(str), which is salted), so default-seeded clients retry
+        # with the same jitter in every run.
+        self.rng = rng if rng is not None else random.Random(f"{client_id}:log-client")
+        #: backoff schedule between force retries and initialization
+        #: attempts; jitter draws from ``self.rng`` happen only on
+        #: failure paths, so failure-free runs stay bit-identical.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        #: write-set migration threshold (§5.4): a write-set server
+        #: unresponsive for this long is replaced via NewInterval on a
+        #: fresh server instead of being retried further.  ``None``
+        #: disables the time-based trigger (retry counts still apply).
+        self.migrate_after_s = migrate_after_s
+        #: server -> sim time of the first unanswered attempt since the
+        #: last success; cleared by any acknowledgment.
+        self._suspect_since: dict[str, float] = {}
 
         # connections
         self._conns: dict[str, Connection] = {}
@@ -181,6 +199,8 @@ class SimLogClient:
         if high <= prev:
             return
         self._acked[server_id] = high
+        if self._suspect_since:
+            self._suspect_since.pop(server_id, None)
         waiters = self._ack_waiters.get(server_id, [])
         still = []
         for threshold, event in waiters:
@@ -421,23 +441,47 @@ class SimLogClient:
                         yield from self._send_write(server_id, (probe,),
                                                     forced=True)
                 except ServerUnavailable:
+                    self._suspect_since.setdefault(server_id, sim.now)
                     break
                 if acked_get(server_id, 0) >= high:
                     ok = True
                 else:
                     event = sim.event("ack-wait")
-                    self._ack_waiters.setdefault(server_id, []).append(
-                        (high, event))
+                    entry = (high, event)
+                    waiters = self._ack_waiters.setdefault(server_id, [])
+                    waiters.append(entry)
                     yield sim.any_of(
                         [event, sim.timeout(self.force_timeout_s)])
-                    ok = acked_get(server_id, 0) >= high
+                    if event.triggered:
+                        # the ack won the race: _note_ack saw the
+                        # watermark reach `high`.
+                        ok = True
+                    else:
+                        # the timeout won.  Withdraw the waiter, then
+                        # yield once more so an ack already delivered
+                        # at this same instant (queued behind the
+                        # timeout) is counted before deciding on a
+                        # full resend.
+                        try:
+                            waiters.remove(entry)
+                        except ValueError:
+                            pass
+                        yield sim.timeout(0)
+                        ok = acked_get(server_id, 0) >= high
                 if ok:
+                    self._suspect_since.pop(server_id, None)
                     self._server_loads[server_id] = sim.now  # freshness
                     break
+                self._suspect_since.setdefault(server_id, sim.now)
                 # handle a MissingInterval the server may have raised
                 missing = self._missing.pop(server_id, None)
                 if missing is not None:
                     yield from self._handle_missing(server_id, missing)
+                if self._past_migration_threshold(server_id):
+                    break  # stop retrying a server held down too long
+                if _attempt < self.config.write_retries:
+                    yield sim.timeout(
+                        self.retry_policy.delay(_attempt, self.rng))
             if ok:
                 done.append(server_id)
             else:
@@ -481,21 +525,47 @@ class SimLogClient:
                 return False
             ok = yield from self._await_ack(server_id, high)
             if ok:
+                self._suspect_since.pop(server_id, None)
                 self._server_loads[server_id] = self.sim.now  # freshness signal
                 return True
+            self._suspect_since.setdefault(server_id, self.sim.now)
             # handle a MissingInterval the server may have raised
             missing = self._missing.pop(server_id, None)
             if missing is not None:
                 yield from self._handle_missing(server_id, missing)
+            if self._past_migration_threshold(server_id):
+                return False
+            if _attempt < self.config.write_retries:
+                yield self.sim.timeout(
+                    self.retry_policy.delay(_attempt, self.rng))
         return False
 
     def _await_ack(self, server_id: str, high: LSN) -> bool:
         if self._acked.get(server_id, 0) >= high:
             return True
         event = self.sim.event("ack-wait")
-        self._ack_waiters.setdefault(server_id, []).append((high, event))
+        entry = (high, event)
+        waiters = self._ack_waiters.setdefault(server_id, [])
+        waiters.append(entry)
         yield self.sim.any_of([event, self.sim.timeout(self.force_timeout_s)])
+        if event.triggered:
+            return True
+        # timeout expired first: withdraw the waiter and give an ack
+        # delivered at this exact instant one more scheduling step
+        # before concluding the force must be resent.
+        try:
+            waiters.remove(entry)
+        except ValueError:
+            pass
+        yield self.sim.timeout(0)
         return self._acked.get(server_id, 0) >= high
+
+    def _past_migration_threshold(self, server_id: str) -> bool:
+        if self.migrate_after_s is None:
+            return False
+        since = self._suspect_since.get(server_id)
+        return since is not None and \
+            self.sim.now - since >= self.migrate_after_s
 
     def _handle_missing(self, server_id: str, missing: tuple[LSN, LSN]):
         """Resend a missing interval, or NewInterval if it is gone.
@@ -678,6 +748,40 @@ class SimLogClient:
         """Bring the node back and run client initialization."""
         self.endpoint.restart()
         yield from self.initialize()
+
+    def initialize_with_retry(self, deadline_s: float | None = None,
+                              policy: RetryPolicy | None = None):
+        """Client initialization retried through transient churn.
+
+        Under crash/repair churn the init quorum (``M − N + 1`` interval
+        lists, plus the generator's quorums) can be briefly unreachable;
+        this retries :meth:`initialize` with capped exponential backoff
+        and seeded jitter until it succeeds, the policy's attempts run
+        out, or more than ``deadline_s`` simulated seconds would pass.
+        ``yield from`` me.
+        """
+        policy = policy if policy is not None else self.retry_policy
+        start = self.sim.now
+        attempt = 0
+        while True:
+            try:
+                yield from self.initialize()
+                return
+            except (NotEnoughServers, ServerUnavailable):
+                if attempt >= policy.max_attempts - 1:
+                    raise
+                delay = policy.delay(attempt, self.rng)
+                if (deadline_s is not None
+                        and self.sim.now + delay - start > deadline_s):
+                    raise
+                attempt += 1
+                yield self.sim.timeout(delay)
+
+    def restart_with_retry(self, deadline_s: float | None = None,
+                           policy: RetryPolicy | None = None):
+        """:meth:`restart`, but riding out transient quorum loss."""
+        self.endpoint.restart()
+        yield from self.initialize_with_retry(deadline_s, policy)
 
     @property
     def write_set(self) -> tuple[str, ...]:

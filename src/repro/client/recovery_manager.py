@@ -32,6 +32,7 @@ import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..core.errors import NotEnoughServers, NotInitialized
 from ..core.records import LSN
 from .splitting import UndoCache
 
@@ -44,6 +45,16 @@ class TxnStatus(Enum):
 
 class TransactionError(Exception):
     """Illegal transaction-state transition or malformed log record."""
+
+
+class TransactionAborted(TransactionError):
+    """A commit lost its log quorum; the transaction was rolled back.
+
+    Raised only when the manager was built with ``reinitialize``: the
+    backend has already been re-established, the transaction's volatile
+    updates undone, and the caller may simply run the transaction
+    again.
+    """
 
 
 # -- record encoding ----------------------------------------------------------
@@ -175,12 +186,20 @@ class RecoveryManager:
         db: Database,
         undo_cache: UndoCache | None = None,
         checkpoint_every: int = 0,
+        reinitialize=None,
+        max_log_retries: int = 2,
     ):
         self._txids = itertools.count(1)
         self.backend = backend
         self.db = db
         self.undo_cache = undo_cache
         self.checkpoint_every = checkpoint_every
+        #: optional generator callable re-establishing the log backend
+        #: after a transient ``NotEnoughServers`` (typically the
+        #: client's ``initialize_with_retry``).  ``None`` keeps the
+        #: historical fail-fast behaviour.
+        self.reinitialize = reinitialize
+        self.max_log_retries = max_log_retries
         self.active: dict[int, Transaction] = {}
         self._since_checkpoint = 0
         # statistics for the splitting ablation
@@ -189,17 +208,39 @@ class RecoveryManager:
         self.undo_records_logged = 0
         self.local_aborts = 0
         self.remote_abort_reads = 0
+        #: times the backend was re-established mid-operation.
+        self.backend_recoveries = 0
 
     # -- logging helper ---------------------------------------------------------
 
     def _log(self, data: bytes, kind: str, txn: Transaction | None = None):
-        lsn = yield from self.backend.log(data, kind)
+        attempt = 0
+        while True:
+            try:
+                lsn = yield from self.backend.log(data, kind)
+                break
+            except (NotEnoughServers, NotInitialized):
+                # Only safe to retry when no earlier record of this
+                # transaction could have been lost with the old quorum
+                # (a re-established log starts a fresh epoch; records
+                # buffered before the loss are masked by its guards).
+                retryable = txn is None or txn.records_written == 0
+                if (not retryable or self.reinitialize is None
+                        or attempt >= self.max_log_retries):
+                    raise
+                attempt += 1
+                yield from self._recover_backend()
         self.records_logged += 1
         self.bytes_logged += len(data)
         if txn is not None:
             txn.records_written += 1
             txn.bytes_logged += len(data)
         return lsn
+
+    def _recover_backend(self):
+        """Re-establish the log after it lost its quorum mid-operation."""
+        self.backend_recoveries += 1
+        yield from self.reinitialize()
 
     # -- transaction operations ----------------------------------------------------
 
@@ -235,8 +276,27 @@ class RecoveryManager:
         transaction must be forced to disk."
         """
         self._check_active(txn)
-        lsn = yield from self._log(encode_commit(txn.txid), "commit", txn)
-        yield from self.backend.force()
+        try:
+            lsn = yield from self._log(encode_commit(txn.txid), "commit", txn)
+            yield from self.backend.force()
+        except (NotEnoughServers, NotInitialized):
+            if self.reinitialize is None:
+                raise
+            # The commit never became durable, and the transaction's
+            # buffered records died with the old quorum (the new
+            # epoch's guards mask any partial write).  Undo volatile
+            # state, re-establish the log, and report a clean abort so
+            # the caller can rerun the whole transaction.
+            for key, old, _new, _lsn in reversed(txn.updates):
+                self.db.write_volatile(key, old)
+            if self.undo_cache is not None:
+                self.undo_cache.discard(txn.txid)
+            txn.status = TxnStatus.ABORTED
+            del self.active[txn.txid]
+            yield from self._recover_backend()
+            raise TransactionAborted(
+                f"transaction {txn.txid}: commit force lost its log quorum"
+            ) from None
         txn.status = TxnStatus.COMMITTED
         del self.active[txn.txid]
         if self.undo_cache is not None:

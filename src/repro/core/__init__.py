@@ -51,8 +51,14 @@ from .intervals import (
 )
 from .ports import DirectServerPort, ServerPort
 from .records import FIRST_EPOCH, FIRST_LSN, Epoch, LogRecord, LSN, RecordBatch, StoredRecord
-from .recovery import RecoveryResult, gather_interval_lists, perform_recovery
+from .recovery import (
+    RecoveryResult,
+    gather_interval_lists,
+    gather_interval_lists_with_retry,
+    perform_recovery,
+)
 from .repair import RepairResult, repair_log_copy, under_replicated_lsns
+from .retry import RetryPolicy, retry_call
 from .replicated_log import ReplicatedLog
 from .store import ClientLogState, LogServerStore
 
@@ -85,6 +91,7 @@ __all__ = [
     "ReplicatedIdGenerator",
     "ReplicatedLog",
     "ReplicationConfig",
+    "RetryPolicy",
     "ServerIntervals",
     "ServerPort",
     "ServerUnavailable",
@@ -93,6 +100,7 @@ __all__ = [
     "availability_point",
     "figure_3_4_series",
     "gather_interval_lists",
+    "gather_interval_lists_with_retry",
     "generator_availability",
     "init_availability",
     "intervals_from_lsns",
@@ -101,6 +109,7 @@ __all__ = [
     "perform_recovery",
     "read_availability",
     "repair_log_copy",
+    "retry_call",
     "under_replicated_lsns",
     "single_server_availability",
     "write_availability",

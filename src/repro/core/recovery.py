@@ -21,12 +21,14 @@ restart repeats the procedure with a yet-higher epoch.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from .errors import NotEnoughServers, ServerUnavailable
 from .intervals import MergedIntervalMap, ServerIntervals
 from .ports import ServerPort
 from .records import Epoch, LSN, StoredRecord
+from .retry import RetryPolicy, retry_call
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +69,32 @@ def gather_interval_lists(
             f"servers; only {len(responses)} responded"
         )
     return responses
+
+
+def gather_interval_lists_with_retry(
+    ports: dict[str, ServerPort],
+    client_id: str,
+    quorum: int,
+    policy: "RetryPolicy | None" = None,
+    rng: random.Random | None = None,
+    sleep=None,
+    on_retry=None,
+) -> list[ServerIntervals]:
+    """:func:`gather_interval_lists`, retried through transient outages.
+
+    A client restarting *during* churn may find fewer than ``M − N + 1``
+    servers up at the instant it asks; retrying with capped backoff
+    rides out repair windows instead of failing the whole restart.
+    ``on_retry(attempt)`` fires between attempts (tests use it to bring
+    servers back; simulations advance their clock in ``sleep``).
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    rng = rng if rng is not None else random.Random(0)
+    return retry_call(
+        lambda: gather_interval_lists(ports, client_id, quorum),
+        policy, rng, retry_on=(NotEnoughServers,),
+        sleep=sleep, on_retry=on_retry,
+    )
 
 
 def _read_record_for_copy(

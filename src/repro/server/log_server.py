@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from ..analysis.constants import DEFAULT_MIPS, CpuModel
 from ..core.epoch import GeneratorStateRepresentative
-from ..core.errors import ProtocolError
+from ..core.errors import ProtocolError, ServerUnavailable
 from ..core.records import StoredRecord
 from ..core.store import LogServerStore
 from ..net.messages import (
@@ -381,11 +381,26 @@ class SimLogServer:
         elif isinstance(body, InstallCopiesCall):
             reply = self._do_install(body)
         elif isinstance(body, GeneratorReadCall):
-            reply = GeneratorReadReply(client_id=body.client_id,
-                                       value=self.generator_rep.read())
+            # the representative can be down independently of the node
+            # (failure injection drives it directly); answer with an
+            # error instead of letting the exception kill this
+            # connection's handler.
+            try:
+                value = self.generator_rep.read()
+            except ServerUnavailable:
+                reply = ErrorReply(client_id=body.client_id,
+                                   reason="generator representative down")
+            else:
+                reply = GeneratorReadReply(client_id=body.client_id,
+                                           value=value)
         elif isinstance(body, GeneratorWriteCall):
-            self.generator_rep.write(body.value)
-            reply = AckReply(client_id=body.client_id)
+            try:
+                self.generator_rep.write(body.value)
+            except ServerUnavailable:
+                reply = ErrorReply(client_id=body.client_id,
+                                   reason="generator representative down")
+            else:
+                reply = AckReply(client_id=body.client_id)
         else:
             reply = ErrorReply(client_id=body.client_id,
                                reason=f"unknown call {type(body).__name__}")

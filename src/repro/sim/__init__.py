@@ -9,9 +9,12 @@ schedules for the availability experiments.
 """
 
 from .failures import (
+    ClusterChurn,
+    LinkDegrader,
     UpDownProcess,
     bernoulli_outage_sample,
     mttr_for_unavailability,
+    node_is_up,
     restore_all,
     unavailability,
 )
@@ -22,7 +25,9 @@ from .stats import Counter, LatencySample, MetricSet, TimeWeighted
 
 __all__ = [
     "Channel",
+    "ClusterChurn",
     "Counter",
+    "LinkDegrader",
     "Event",
     "Interrupt",
     "LatencySample",
@@ -36,6 +41,7 @@ __all__ = [
     "UpDownProcess",
     "bernoulli_outage_sample",
     "mttr_for_unavailability",
+    "node_is_up",
     "restore_all",
     "unavailability",
 ]

@@ -20,7 +20,7 @@ from repro.sim import MetricSet, Simulator
 
 class Cluster:
     def __init__(self, m=3, n=2, delta=8, loss_prob=0.0, seed=0,
-                 force_timeout_s=0.25):
+                 force_timeout_s=0.25, write_retries=3, **client_kwargs):
         self.sim = Simulator()
         self.lan = Lan(self.sim, loss_prob=loss_prob, rng=random.Random(seed))
         self.metrics = MetricSet()
@@ -31,8 +31,11 @@ class Cluster:
         }
         self.client = SimLogClient(
             self.sim, self.lan, "c1", list(self.servers),
-            ReplicationConfig(m, n, delta=delta), make_generator(3),
+            ReplicationConfig(m, n, delta=delta,
+                              write_retries=write_retries),
+            make_generator(3),
             metrics=self.metrics, force_timeout_s=force_timeout_s,
+            **client_kwargs,
         )
 
     def run_main(self, main, until=60):
@@ -322,3 +325,206 @@ class TestClientRestart:
         )
         assert max_intervals > 1
         assert cluster.client.server_switches > 0
+
+
+class TestAckTimeoutRace:
+    def test_await_ack_sees_ack_at_the_timeout_instant(self):
+        """An ack delivered at the exact timeout instant must count.
+
+        The acker is scheduled *after* the waiter's timeout at the same
+        simulated time, so the timeout event fires first — exactly the
+        race that used to trigger a spurious full resend.
+        """
+        cluster = Cluster()
+        sim = cluster.sim
+        client = cluster.client
+        result = {}
+
+        def waiter():
+            ok = yield from client._await_ack("s0", 5)
+            result["ok"] = ok
+
+        def acker():
+            yield sim.timeout(client.force_timeout_s)
+            client._note_ack("s0", 5)
+
+        sim.spawn(waiter())
+        sim.spawn(acker())
+        sim.run(until=10)
+        assert result["ok"] is True
+
+    def test_force_with_delayed_ack_does_not_resend(self):
+        """Regression: a late ack at the timeout must not resend a force.
+
+        The LAN drops every packet after initialization, so the only
+        acks the client ever sees are the scripted ones, delivered at
+        exactly the instant each ack-wait times out (queued behind the
+        timeout event).  The force must complete with one send per
+        write-set server — no retries, no server switch.
+        """
+        cluster = Cluster()
+        sim = cluster.sim
+        client = cluster.client
+        result = {}
+
+        class AckAtTimeout(list):
+            """Waiter list that schedules the ack at the timeout instant."""
+
+            def __init__(self, server_id):
+                super().__init__()
+                self.server_id = server_id
+
+            def append(self, entry):
+                super().append(entry)
+                high, _event = entry
+
+                def acker():
+                    yield sim.timeout(client.force_timeout_s)
+                    client._note_ack(self.server_id, high)
+
+                sim.spawn(acker())
+
+        def main():
+            yield from client.initialize()
+            cluster.lan.loss_prob = 1.0  # servers never see (or ack) anything
+            for sid in client.write_set:
+                client._ack_waiters[sid] = AckAtTimeout(sid)
+            yield from client.log(b"payload")
+            before = cluster.metrics.counter("c1.msgs_out").count
+            yield from client.force()
+            result["sends"] = cluster.metrics.counter("c1.msgs_out").count - before
+
+        cluster.run_main(main(), until=60)
+        # exactly one WriteLog per write-set server; a spurious resend
+        # would double that (and a switch would add NewInterval traffic)
+        assert result["sends"] == 2
+        assert cluster.client.server_switches == 0
+        assert cluster.client._suspect_since == {}
+
+
+class TestWriteSetMigration:
+    def test_server_held_down_past_threshold_is_migrated(self):
+        from repro.core import RetryPolicy
+
+        cluster = Cluster(
+            force_timeout_s=0.1, write_retries=10,
+            migrate_after_s=0.25,
+            retry_policy=RetryPolicy(base_delay_s=0.02, cap_delay_s=0.1,
+                                     jitter=0.0),
+        )
+        result = {}
+
+        def main():
+            yield from cluster.client.initialize()
+            yield from cluster.client.log(b"before")
+            yield from cluster.client.force()
+            victim = cluster.client.write_set[0]
+            # hold the server down without closing its connections: it
+            # keeps accepting packets and silently drops them, so every
+            # attempt times out instead of failing fast — §5.4's
+            # "down past the threshold" scenario.
+            cluster.servers[victim].crashed = True
+            t0 = cluster.sim.now
+            lsn = yield from cluster.client.log(b"after")
+            yield from cluster.client.force()
+            result["victim"] = victim
+            result["elapsed"] = cluster.sim.now - t0
+            result["lsn"] = lsn
+
+        cluster.run_main(main(), until=120)
+        victim = result["victim"]
+        assert victim not in cluster.client.write_set
+        assert cluster.client.server_switches >= 1
+        # the migration threshold cut the retry loop short: exhausting
+        # all 10 retries at 0.1 s timeouts plus backoff would take ~2 s
+        assert result["elapsed"] < 1.0
+        # the commit is durable on the migrated write set
+        for sid in cluster.client.write_set:
+            stored = cluster.servers[sid].store.client_state("c1") \
+                .lookup(result["lsn"])
+            assert stored is not None and stored.present
+            assert stored.data == b"after"
+
+    def test_no_migration_without_threshold(self):
+        # migrate_after_s=None (the default) keeps the historical
+        # retry-then-switch behaviour: _past_migration_threshold is off
+        cluster = Cluster()
+        assert cluster.client._past_migration_threshold("s0") is False
+
+
+class TestInitializeWithRetry:
+    def test_rides_out_a_repair_window(self):
+        from repro.core import RetryPolicy
+
+        cluster = Cluster()
+        result = {}
+
+        def repair():
+            yield cluster.sim.timeout(0.3)
+            cluster.servers["s0"].restart()
+
+        def main():
+            cluster.servers["s0"].crash()
+            cluster.servers["s1"].crash()  # 1 of 3 up; init quorum is 2
+            cluster.sim.spawn(repair())
+            yield from cluster.client.initialize_with_retry(
+                policy=RetryPolicy(base_delay_s=0.1, cap_delay_s=0.5,
+                                   jitter=0.0, max_attempts=8))
+            result["initialized"] = cluster.client.initialized
+
+        cluster.run_main(main(), until=60)
+        assert result["initialized"] is True
+
+    def test_deadline_bounds_the_retrying(self):
+        from repro.core import RetryPolicy, ServerUnavailable
+
+        cluster = Cluster()
+        result = {}
+
+        def main():
+            cluster.servers["s0"].crash()
+            cluster.servers["s1"].crash()  # never repaired
+            t0 = cluster.sim.now
+            try:
+                yield from cluster.client.initialize_with_retry(
+                    deadline_s=0.5,
+                    policy=RetryPolicy(base_delay_s=0.1, cap_delay_s=0.2,
+                                       jitter=0.0, max_attempts=50))
+            except (NotEnoughServers, ServerUnavailable):
+                result["raised"] = True
+            result["elapsed"] = cluster.sim.now - t0
+
+        cluster.run_main(main(), until=60)
+        assert result.get("raised") is True
+        # one attempt against crashed servers takes ~3 simulated
+        # seconds of RPC timeouts; the deadline must stop the schedule
+        # right after it instead of running all 50 attempts
+        assert result["elapsed"] <= 6.0
+
+    def test_restart_with_retry_recovers_forced_records(self):
+        from repro.core import RetryPolicy
+
+        cluster = Cluster()
+        result = {}
+
+        def repair():
+            yield cluster.sim.timeout(0.4)
+            cluster.servers["s0"].restart()
+            cluster.servers["s1"].restart()
+
+        def main():
+            yield from cluster.client.initialize()
+            lsn = yield from cluster.client.log(b"durable")
+            yield from cluster.client.force()
+            cluster.client.crash()
+            cluster.servers["s0"].crash()
+            cluster.servers["s1"].crash()
+            cluster.sim.spawn(repair())
+            yield from cluster.client.restart_with_retry(
+                policy=RetryPolicy(base_delay_s=0.1, cap_delay_s=0.5,
+                                   jitter=0.0, max_attempts=10))
+            record = yield from cluster.client.read(lsn)
+            result["data"] = record.data
+
+        cluster.run_main(main(), until=120)
+        assert result["data"] == b"durable"

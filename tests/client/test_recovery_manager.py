@@ -198,3 +198,131 @@ class TestCleaning:
         # the page moved and the log was forced (a no-op force here)
         assert node.db.stable["a"] == "v"
         assert backend_log.writes_performed == writes_before
+
+
+class FlakyBackend:
+    """An in-memory log backend with scripted quorum losses.
+
+    ``fail_logs`` / ``fail_forces`` count down: while positive, the
+    next call raises ``NotEnoughServers`` (the log lost its quorum and,
+    as with a real re-initialization, every record buffered under the
+    old quorum is gone).
+    """
+
+    def __init__(self):
+        self.records = []
+        self._buffered = []
+        self.fail_logs = 0
+        self.fail_forces = 0
+        self.reinits = 0
+
+    def log(self, data, kind="data"):
+        from repro.core import NotEnoughServers
+
+        if self.fail_logs > 0:
+            self.fail_logs -= 1
+            self._buffered.clear()
+            raise NotEnoughServers("log quorum lost")
+        self._buffered.append((data, kind))
+        return len(self.records) + len(self._buffered)
+        yield  # pragma: no cover — generator protocol
+
+    def force(self):
+        from repro.core import NotEnoughServers
+
+        if self.fail_forces > 0:
+            self.fail_forces -= 1
+            self._buffered.clear()
+            raise NotEnoughServers("force quorum lost")
+        self.records.extend(self._buffered)
+        self._buffered.clear()
+        return None
+        yield  # pragma: no cover
+
+    def reinitialize(self):
+        self.reinits += 1
+        self._buffered.clear()
+        return None
+        yield  # pragma: no cover
+
+
+class TestLogRetryUnderQuorumLoss:
+    def _manager(self, backend):
+        from repro.client.recovery_manager import RecoveryManager
+
+        db = Database()
+        rm = RecoveryManager(backend, db,
+                             reinitialize=backend.reinitialize)
+        return rm, db
+
+    def test_begin_retried_after_transient_loss(self, drive):
+        backend = FlakyBackend()
+        backend.fail_logs = 1
+        rm, _db = self._manager(backend)
+        txn = drive(rm.begin())
+        assert txn.txid == 1
+        assert rm.backend_recoveries == 1
+        assert backend.reinits == 1
+
+    def test_mid_transaction_loss_not_silently_retried(self, drive):
+        from repro.core import NotEnoughServers
+
+        backend = FlakyBackend()
+        rm, _db = self._manager(backend)
+        txn = drive(rm.begin())
+        # the begin record is already buffered under the old quorum; a
+        # retry would lose it and lie about durability — must raise
+        backend.fail_logs = 1
+        with pytest.raises(NotEnoughServers):
+            drive(rm.update(txn, "a", "1"))
+        assert rm.backend_recoveries == 0
+
+    def test_without_reinitialize_failures_propagate(self, drive):
+        from repro.core import NotEnoughServers
+        from repro.client.recovery_manager import RecoveryManager
+
+        backend = FlakyBackend()
+        backend.fail_logs = 1
+        rm = RecoveryManager(backend, Database())
+        with pytest.raises(NotEnoughServers):
+            drive(rm.begin())
+
+    def test_commit_loss_aborts_rolls_back_and_recovers(self, drive):
+        from repro.client import TransactionAborted
+
+        backend = FlakyBackend()
+        rm, db = self._manager(backend)
+        db.write_volatile("a", "0")
+        txn = drive(rm.begin())
+        drive(rm.update(txn, "a", "1"))
+        assert db.read("a") == "1"
+        backend.fail_forces = 1
+        with pytest.raises(TransactionAborted):
+            drive(rm.commit(txn))
+        # volatile state rolled back, transaction closed, log restored
+        assert db.read("a") == "0"
+        assert txn.status is TxnStatus.ABORTED
+        assert txn.txid not in rm.active
+        assert rm.backend_recoveries == 1
+        # the caller can simply run the transaction again
+        txn2 = drive(rm.begin())
+        drive(rm.update(txn2, "a", "1"))
+        drive(rm.commit(txn2))
+        assert txn2.status is TxnStatus.COMMITTED
+        assert db.read("a") == "1"
+
+    def test_commit_loss_discards_cached_undo(self, drive):
+        from repro.client import TransactionAborted
+        from repro.client.recovery_manager import RecoveryManager
+
+        backend = FlakyBackend()
+        cache = UndoCache()
+        db = Database()
+        rm = RecoveryManager(backend, db, undo_cache=cache,
+                             reinitialize=backend.reinitialize)
+        txn = drive(rm.begin())
+        drive(rm.update(txn, "k", "v"))
+        backend.fail_forces = 1
+        with pytest.raises(TransactionAborted):
+            drive(rm.commit(txn))
+        assert cache.take_for_abort(txn.txid) == []

@@ -103,3 +103,34 @@ class TestLocalIdGenerator:
     def test_start_offset(self):
         generator = LocalIdGenerator(start=10)
         assert generator.new_id() == 11
+
+
+class TestNewIdWithRetry:
+    def test_rides_out_a_repair_window(self):
+        from repro.core import RetryPolicy
+
+        generator = make_generator(3)
+        generator.representatives[0].crash()
+        generator.representatives[1].crash()
+
+        def repair(attempt):
+            if attempt == 0:
+                generator.representatives[0].restart()
+
+        first = generator.new_id_with_retry(
+            policy=RetryPolicy(max_attempts=3, jitter=0.0),
+            sleep=lambda _s: None, on_retry=repair,
+        )
+        assert generator.new_id() > first
+
+    def test_exhaustion_raises(self):
+        from repro.core import RetryPolicy
+
+        generator = make_generator(3)
+        generator.representatives[0].crash()
+        generator.representatives[1].crash()
+        with pytest.raises(NotEnoughServers):
+            generator.new_id_with_retry(
+                policy=RetryPolicy(max_attempts=2, jitter=0.0),
+                sleep=lambda _s: None,
+            )

@@ -133,3 +133,116 @@ class TestPerformRecovery:
         # LSN 1 entry now carries the new epoch and the install targets
         assert result.merged.epoch_of(1) == 2
         assert set(result.merged.servers_for(1)) == set(result.write_set)
+
+
+class CrashOnInstallPort:
+    """A port whose server power-fails between CopyLog and InstallCopies.
+
+    The staged copies reach the store's durable state, but the install
+    never runs — the exact window the restartability argument of
+    Section 4.2 is about.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._tripped = False
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def install_copies(self, client_id, epoch):
+        if not self._tripped:
+            self._tripped = True
+            self._inner.store.crash()
+        return self._inner.install_copies(client_id, epoch)
+
+
+class TestRecoveryRestartability:
+    def _seed_log(self, stores, lsns=range(1, 4)):
+        for lsn in lsns:
+            for sid in ("s0", "s1"):
+                stores[sid].server_write_log("c1", lsn, 1, True,
+                                             b"r%d" % lsn)
+
+    def test_crash_between_copy_and_install_leaves_staged_inert(self):
+        stores, ports = build_stores(4)
+        self._seed_log(stores)
+        ports["s0"] = CrashOnInstallPort(ports["s0"])
+
+        lists = gather_interval_lists(ports, "c1", quorum=3)
+        result = perform_recovery("c1", ports, lists, new_epoch=2,
+                                  copies=2, delta=2,
+                                  preferred_servers=("s0", "s1"))
+        # the crashed server was skipped; recovery still installed N copies
+        assert "s0" not in result.write_set
+        assert len(result.write_set) == 2
+
+        # its staged epoch-2 records were never installed and stay inert
+        state = stores["s0"].client_state("c1")
+        assert 2 in state.staged
+        assert all(r.epoch != 2 for r in state.records)
+        stores["s0"].restart()
+        intervals = stores["s0"].interval_list("c1").intervals
+        assert all(iv.epoch != 2 for iv in intervals)
+
+    def test_repeated_higher_epoch_recovery_converges(self):
+        stores, ports = build_stores(4)
+        self._seed_log(stores)
+        ports["s0"] = CrashOnInstallPort(ports["s0"])
+
+        lists = gather_interval_lists(ports, "c1", quorum=3)
+        perform_recovery("c1", ports, lists, new_epoch=2, copies=2,
+                         delta=2, preferred_servers=("s0", "s1"))
+        stores["s0"].restart()
+
+        # the next restart runs the procedure again at a higher epoch;
+        # the recovered server participates normally this time
+        lists2 = gather_interval_lists(ports, "c1", quorum=3)
+        result2 = perform_recovery("c1", ports, lists2, new_epoch=3,
+                                   copies=2, delta=2,
+                                   preferred_servers=("s0", "s1"))
+        assert result2.write_set == ("s0", "s1")
+        # epoch 2 is never reused: the stale staged copies on s0 remain
+        # uninstalled while epoch 3 is fully installed
+        s0_state = stores["s0"].client_state("c1")
+        assert 2 in s0_state.staged
+        assert any(r.epoch == 3 for r in s0_state.records)
+        assert all(r.epoch != 2 for r in s0_state.records)
+        # both installs hold the same records: the merged map agrees
+        for lsn in (2, 3):
+            datas = {stores[sid].server_read_log("c1", lsn).data
+                     for sid in result2.write_set}
+            assert datas == {b"r%d" % lsn}
+
+
+class TestGatherWithRetry:
+    def test_rides_out_a_transient_outage(self):
+        from repro.core import RetryPolicy, gather_interval_lists_with_retry
+
+        stores, ports = build_stores(3)
+        stores["s0"].crash()
+        stores["s1"].crash()
+
+        def repair(attempt):
+            if attempt == 1:
+                stores["s1"].restart()
+
+        lists = gather_interval_lists_with_retry(
+            ports, "c1", quorum=2,
+            policy=RetryPolicy(max_attempts=4, jitter=0.0),
+            sleep=lambda _s: None, on_retry=repair,
+        )
+        assert {l.server_id for l in lists} == {"s1", "s2"}
+
+    def test_exhaustion_still_raises(self):
+        from repro.core import RetryPolicy, gather_interval_lists_with_retry
+
+        stores, ports = build_stores(3)
+        stores["s0"].crash()
+        stores["s1"].crash()
+        with pytest.raises(NotEnoughServers):
+            gather_interval_lists_with_retry(
+                ports, "c1", quorum=2,
+                policy=RetryPolicy(max_attempts=3, jitter=0.0),
+                sleep=lambda _s: None,
+            )

@@ -1,0 +1,93 @@
+"""Tests for the capped-exponential-backoff retry policy."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    NotEnoughServers,
+    RetryPolicy,
+    ServerUnavailable,
+    retry_call,
+)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(base_delay_s=0.1, cap_delay_s=0.4,
+                             multiplier=2.0, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(a, rng) for a in range(5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.4, 0.4])
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay_s=0.1, cap_delay_s=1.0, jitter=0.5)
+        a = [policy.delay(i, random.Random(42)) for i in range(8)]
+        b = [policy.delay(i, random.Random(42)) for i in range(8)]
+        assert a == b  # deterministic given the seed
+        for attempt, delay in enumerate(a):
+            nominal = min(1.0, 0.1 * 2.0 ** attempt)
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.2, cap_delay_s=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise NotEnoughServers("not yet")
+            return "ok"
+
+        slept = []
+        result = retry_call(flaky, RetryPolicy(jitter=0.0),
+                            random.Random(0), sleep=slept.append)
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2  # one sleep per failed attempt
+
+    def test_exhaustion_raises_last_error(self):
+        def always_down():
+            raise NotEnoughServers("still down")
+
+        with pytest.raises(NotEnoughServers):
+            retry_call(always_down, RetryPolicy(max_attempts=3, jitter=0.0),
+                       random.Random(0), sleep=lambda _s: None)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise ServerUnavailable("s0", "down")
+
+        with pytest.raises(ServerUnavailable):
+            retry_call(wrong_kind, RetryPolicy(), random.Random(0),
+                       retry_on=(NotEnoughServers,),
+                       sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_sees_attempt_numbers(self):
+        calls = {"n": 0}
+        seen = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise NotEnoughServers("not yet")
+            return calls["n"]
+
+        retry_call(flaky, RetryPolicy(jitter=0.0), random.Random(0),
+                   sleep=lambda _s: None, on_retry=seen.append)
+        assert seen == [0, 1, 2]
