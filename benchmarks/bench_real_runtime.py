@@ -1,0 +1,84 @@
+"""Real-runtime throughput: ET1 load over a loopback process cluster.
+
+Where ``bench_sec4_1_simulated.py`` measures the *model*, this measures
+the *runtime*: M=3 real log-server processes (asyncio daemons over
+fsync'd file stores), one asyncio client writing the Section 4.1 ET1
+logging profile (seven 100-byte records per transaction, one forced
+commit), N=2 copies per record.  Reports records/sec and ForceLog
+latency percentiles, and emits ``BENCH_real_runtime.json`` for the
+performance trajectory.
+
+Loopback TCP on one machine is *not* the paper's 10 Mbit/s token-ring
+LAN: there is no transmission delay to speak of, but every force pays
+two real ``fsync`` calls on the same disk.  The figures are a floor
+for the runtime's software overhead, not a reproduction of the paper's
+capacity numbers — see EXPERIMENTS.md E12.
+
+``REPRO_RT_SMOKE=1`` shortens the run for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.config import ReplicationConfig
+from repro.rt.cluster import LoopbackCluster
+from repro.rt.loadgen import run_loadgen_sync
+
+from ._emit import emit, emit_json, emit_table
+
+SMOKE = bool(os.environ.get("REPRO_RT_SMOKE"))
+DURATION_S = 2.0 if SMOKE else 10.0
+SERVERS = 3
+COPIES = 2
+DELTA = 8
+
+
+def test_bench_real_runtime(tmp_path):
+    start = time.perf_counter()
+    with LoopbackCluster(tmp_path, num_servers=SERVERS) as cluster:
+        config = ReplicationConfig(total_servers=SERVERS, copies=COPIES,
+                                   delta=DELTA)
+        report = run_loadgen_sync(
+            cluster.addresses(), config,
+            client_id="bench", duration_s=DURATION_S,
+        )
+    wall = time.perf_counter() - start
+
+    assert report.transactions > 0
+    assert report.records_written == report.transactions * 7
+    assert report.server_switches == 0  # nobody was killed
+
+    emit_table(
+        ["quantity", "value"],
+        [
+            ("transactions", report.transactions),
+            ("records/sec", f"{report.records_per_sec:.0f}"),
+            ("txns/sec", f"{report.txns_per_sec:.0f}"),
+            ("force p50 (ms)", f"{report.force_p50_ms:.3f}"),
+            ("force p99 (ms)", f"{report.force_p99_ms:.3f}"),
+        ],
+        title=(f"Real runtime — ET1 over {SERVERS} server processes "
+               f"(N={COPIES}, loopback TCP, {DURATION_S:.0f}s)"),
+    )
+    emit("\nloopback != 10 Mbit/s LAN: software-overhead floor, "
+         "not the paper's capacity figure")
+
+    emit_json("real_runtime", {
+        "params": {
+            "servers": SERVERS,
+            "copies": COPIES,
+            "delta": DELTA,
+            "duration_s": DURATION_S,
+            "smoke": SMOKE,
+        },
+        "metrics": {
+            "transactions": report.transactions,
+            "records_per_sec": round(report.records_per_sec, 3),
+            "txns_per_sec": round(report.txns_per_sec, 3),
+            "force_p50_ms": round(report.force_p50_ms, 3),
+            "force_p99_ms": round(report.force_p99_ms, 3),
+        },
+        "wall_seconds": wall,
+    })

@@ -7,7 +7,15 @@ can be regenerated without writing code:
 * ``python -m repro capacity``      — the Section 4.1 capacity table;
 * ``python -m repro figures``       — the Figures 3-2/3-3 server states;
 * ``python -m repro target-load``   — the simulated 500-TPS experiment;
-* ``python -m repro prototype``     — the Section 5.6 comparison.
+* ``python -m repro prototype``     — the Section 5.6 comparison;
+* ``python -m repro degraded``      — WriteLog under server outages;
+* ``python -m repro sweep``         — offered-load saturation sweep;
+* ``python -m repro churn``         — availability under crash/repair churn;
+* ``python -m repro restart-latency`` — client init time vs M;
+* ``python -m repro serve``         — run one real log-server daemon;
+* ``python -m repro loadgen``       — drive ET1 load at a real cluster.
+
+Installed as the ``repro`` console script (``pip install -e .``).
 """
 
 from __future__ import annotations
@@ -158,6 +166,57 @@ def _cmd_restart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .rt.server import run_server
+
+    try:
+        asyncio.run(run_server(args.data_dir, args.server_id,
+                               args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _parse_server_arg(spec: str) -> tuple[str, tuple[str, int]]:
+    """``sid=host:port`` → ``(sid, (host, port))``."""
+    try:
+        sid, addr = spec.split("=", 1)
+        host, port = addr.rsplit(":", 1)
+        return sid, (host, int(port))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected sid=host:port, got {spec!r}"
+        ) from None
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.config import ReplicationConfig
+    from .rt.loadgen import run_loadgen_sync
+
+    servers = dict(_parse_server_arg(s) for s in args.server)
+    config = ReplicationConfig(total_servers=len(servers),
+                               copies=args.copies, delta=args.delta)
+    report = run_loadgen_sync(
+        servers, config, client_id=args.client_id,
+        duration_s=args.duration,
+        max_txns=args.max_txns,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            ["quantity", "value"],
+            [(k, str(v)) for k, v in sorted(report.as_dict().items())],
+            title=(f"ET1 load against {len(servers)} real servers "
+                   f"(N={args.copies})"),
+        ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +287,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("restart-latency", help="client init time vs M")
     p.set_defaults(func=_cmd_restart)
+
+    p = sub.add_parser(
+        "serve", help="run one real log-server daemon (asyncio, TCP)")
+    p.add_argument("--data-dir", required=True,
+                   help="directory for the durable log and forest files")
+    p.add_argument("--server-id", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral; the chosen port is "
+                        "announced as 'REPRO-SERVE <id> <host> <port>')")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="drive ET1 log load at running log servers")
+    p.add_argument("--server", action="append", required=True,
+                   metavar="SID=HOST:PORT",
+                   help="one per server; repeat for the whole cluster")
+    p.add_argument("--copies", type=int, default=2, help="N (default 2)")
+    p.add_argument("--delta", type=int, default=8,
+                   help="unacknowledged-record bound (default 8)")
+    p.add_argument("--duration", type=float, default=5.0)
+    p.add_argument("--max-txns", type=int, default=None)
+    p.add_argument("--client-id", default="loadgen")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of a table")
+    p.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -11,15 +11,22 @@
   NewHighLSN / MissingInterval / IntervalList / ReadLogForward /
   ReadLogBackward / CopyLog / InstallCopies message set;
 * :mod:`repro.net.rpc` — strict RPCs for the infrequent synchronous
-  calls.
+  calls;
+* :mod:`repro.net.codec` — the binary wire codec the real runtime
+  (:mod:`repro.rt`) uses, encoding each message to exactly its
+  ``wire_size`` bytes.
 """
 
+from .codec import WireCodecError, decode, encode, frame, read_message
 from .lan import DualLan, Lan
 from .messages import (
     AckReply,
     CopyLogCall,
     ErrorReply,
     ForceLogMsg,
+    GeneratorReadCall,
+    GeneratorReadReply,
+    GeneratorWriteCall,
     InstallCopiesCall,
     IntervalListCall,
     IntervalListReply,
@@ -58,6 +65,9 @@ __all__ = [
     "Endpoint",
     "ErrorReply",
     "ForceLogMsg",
+    "GeneratorReadCall",
+    "GeneratorReadReply",
+    "GeneratorWriteCall",
     "HANDSHAKE_ATTEMPTS",
     "HANDSHAKE_TIMEOUT_S",
     "InstallCopiesCall",
@@ -79,7 +89,12 @@ __all__ = [
     "RpcClient",
     "RpcReply",
     "RpcRequest",
+    "WireCodecError",
     "WriteLogMsg",
+    "decode",
+    "encode",
     "fits_in_packet",
+    "frame",
+    "read_message",
     "serve_rpc",
 ]

@@ -1,0 +1,372 @@
+"""Binary wire codec for the Figure 4-1 message set.
+
+The simulator charges transmission time from each message's
+``wire_size`` property; this module makes those numbers *real*: every
+message of :mod:`repro.net.messages` encodes to exactly ``wire_size``
+bytes, so the byte counts the capacity analysis of Section 4.1 reasons
+about are the byte counts that cross a TCP socket in the real runtime
+(:mod:`repro.rt`).
+
+Layout
+------
+
+A *frame* on a stream is a 4-byte big-endian length prefix followed by
+the encoded message.  The prefix is transport framing (the simulated
+LAN charges its own 64-byte packet header instead) and is not counted
+by ``wire_size``.
+
+Encoded message = 32-byte header (``MESSAGE_HEADER_BYTES``)::
+
+    !HBB16sIII — magic, type, flags, client_id, epoch, a, b
+
+followed by a type-specific body:
+
+* record-bearing messages (WriteLog, ForceLog, CopyLog, ReadLogReply):
+  a sequence of records, each a 16-byte record header
+  (``RECORD_HEADER_BYTES``: ``!IIBBHI`` — lsn, epoch, flags, kind,
+  data length, CRC-32 of the data) followed by the data bytes;
+* IntervalListReply: 12 bytes per interval (``!III`` — epoch, lo, hi),
+  "storing one interval requires space for three integers";
+* ErrorReply: the UTF-8 reason string.
+
+``a``/``b`` carry the scalar arguments (LSNs, generator values, the
+ack flag); unused slots are zero.  LSNs and epochs are 32-bit on the
+wire, record payloads at most 64 KiB, client ids at most 16 UTF-8
+bytes, and record kinds come from a fixed registry — each limit is
+checked at encode time and raises :class:`WireCodecError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import zlib
+
+from ..core.intervals import Interval
+from ..core.records import StoredRecord
+from .messages import (
+    MESSAGE_HEADER_BYTES,
+    RECORD_HEADER_BYTES,
+    AckReply,
+    CopyLogCall,
+    ErrorReply,
+    ForceLogMsg,
+    GeneratorReadCall,
+    GeneratorReadReply,
+    GeneratorWriteCall,
+    InstallCopiesCall,
+    IntervalListCall,
+    IntervalListReply,
+    Message,
+    MissingIntervalMsg,
+    NewHighLSNMsg,
+    NewIntervalMsg,
+    ReadLogBackwardCall,
+    ReadLogForwardCall,
+    ReadLogReply,
+    WriteLogMsg,
+)
+
+
+class WireCodecError(Exception):
+    """A message cannot be encoded, or bytes cannot be decoded."""
+
+
+#: "LG" — first two bytes of every encoded message.
+MESSAGE_MAGIC = 0x4C47
+WIRE_VERSION = 1
+
+#: Sanity ceiling on a frame read from an untrusted stream.
+MAX_FRAME_BYTES = 4 << 20
+
+_HEADER = struct.Struct("!HBB16sIII")
+_RECORD = struct.Struct("!IIBBHI")
+_INTERVAL = struct.Struct("!III")
+_FRAME_PREFIX = struct.Struct("!I")
+
+assert _HEADER.size == MESSAGE_HEADER_BYTES
+assert _RECORD.size == RECORD_HEADER_BYTES
+
+#: Largest value carried in a u32 wire field (LSNs, epochs).
+MAX_WIRE_INT = 2**32 - 1
+#: Largest record payload (u16 length field).
+MAX_RECORD_DATA = 2**16 - 1
+#: Largest client id, UTF-8 encoded.
+MAX_CLIENT_ID_BYTES = 16
+
+# Message type codes.
+T_WRITE_LOG = 1
+T_FORCE_LOG = 2
+T_NEW_INTERVAL = 3
+T_NEW_HIGH_LSN = 4
+T_MISSING_INTERVAL = 5
+T_INTERVAL_LIST_CALL = 6
+T_INTERVAL_LIST_REPLY = 7
+T_READ_LOG_FORWARD = 8
+T_READ_LOG_BACKWARD = 9
+T_READ_LOG_REPLY = 10
+T_COPY_LOG = 11
+T_INSTALL_COPIES = 12
+T_ACK = 13
+T_ERROR = 14
+T_GENERATOR_READ_CALL = 15
+T_GENERATOR_READ_REPLY = 16
+T_GENERATOR_WRITE_CALL = 17
+
+#: Record kinds are a closed registry so one byte suffices on the wire
+#: (RECORD_HEADER_BYTES leaves no room for a string).  Every kind the
+#: repository writes is here; register new ones before logging them.
+KIND_CODES: dict[str, int] = {
+    "data": 0,
+    "update": 1,
+    "commit": 2,
+    "guard": 3,
+    "begin": 4,
+    "redo": 5,
+    "undo": 6,
+    "abort": 7,
+    "savepoint": 8,
+    "rollback": 9,
+    "checkpoint": 10,
+    "ack": 11,
+    "syn": 12,
+    "synack": 13,
+    "force": 14,
+}
+CODE_KINDS: dict[int, str] = {v: k for k, v in KIND_CODES.items()}
+
+_PRESENT_FLAG = 0x01
+
+
+def _check_u32(value: int, what: str) -> int:
+    if not 0 <= value <= MAX_WIRE_INT:
+        raise WireCodecError(f"{what} {value} outside 32-bit wire range")
+    return value
+
+
+def _encode_client_id(client_id: str) -> bytes:
+    raw = client_id.encode("utf-8")
+    if len(raw) > MAX_CLIENT_ID_BYTES:
+        raise WireCodecError(
+            f"client id {client_id!r} exceeds {MAX_CLIENT_ID_BYTES} bytes"
+        )
+    return raw
+
+
+def _decode_client_id(raw: bytes) -> str:
+    try:
+        return raw.rstrip(b"\x00").decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireCodecError(f"undecodable client id {raw!r}") from exc
+
+
+# -- records ----------------------------------------------------------------
+
+
+def encode_stored_record(record: StoredRecord) -> bytes:
+    """Encode one record: 16-byte header + data, CRC-32 protected.
+
+    Shared with the durable file store (:mod:`repro.rt.filestore`), so
+    the on-disk and on-wire record images are the same bytes.
+    """
+    kind_code = KIND_CODES.get(record.kind)
+    if kind_code is None:
+        raise WireCodecError(f"unregistered record kind {record.kind!r}")
+    data = record.data
+    if len(data) > MAX_RECORD_DATA:
+        raise WireCodecError(f"record data {len(data)} bytes exceeds u16")
+    flags = _PRESENT_FLAG if record.present else 0
+    header = _RECORD.pack(
+        _check_u32(record.lsn, "LSN"),
+        _check_u32(record.epoch, "epoch"),
+        flags, kind_code, len(data), zlib.crc32(data),
+    )
+    return header + data
+
+
+def decode_stored_record(buf: bytes, offset: int) -> tuple[StoredRecord, int]:
+    """Decode one record at ``offset``; return it and the next offset."""
+    end = offset + RECORD_HEADER_BYTES
+    if end > len(buf):
+        raise WireCodecError("truncated record header")
+    lsn, epoch, flags, kind_code, dlen, crc = _RECORD.unpack_from(buf, offset)
+    data = bytes(buf[end:end + dlen])
+    if len(data) != dlen:
+        raise WireCodecError("truncated record data")
+    if zlib.crc32(data) != crc:
+        raise WireCodecError(f"record ⟨{lsn},{epoch}⟩ failed CRC check")
+    kind = CODE_KINDS.get(kind_code)
+    if kind is None:
+        raise WireCodecError(f"unknown record kind code {kind_code}")
+    try:
+        record = StoredRecord(lsn=lsn, epoch=epoch,
+                              present=bool(flags & _PRESENT_FLAG),
+                              data=data, kind=kind)
+    except ValueError as exc:
+        raise WireCodecError(str(exc)) from exc
+    return record, end + dlen
+
+
+def _encode_records(records: tuple[StoredRecord, ...]) -> bytes:
+    return b"".join(encode_stored_record(r) for r in records)
+
+
+def _decode_records(buf: bytes, offset: int) -> tuple[StoredRecord, ...]:
+    records = []
+    while offset < len(buf):
+        record, offset = decode_stored_record(buf, offset)
+        records.append(record)
+    return tuple(records)
+
+
+# -- messages ---------------------------------------------------------------
+
+
+def encode(msg: Message) -> bytes:
+    """Encode ``msg``; the result is exactly ``msg.wire_size`` bytes."""
+    epoch = a = b = 0
+    body = b""
+    # ForceLogMsg subclasses WriteLogMsg: test it first.
+    if isinstance(msg, ForceLogMsg):
+        mtype, epoch, body = T_FORCE_LOG, msg.epoch, _encode_records(msg.records)
+    elif isinstance(msg, WriteLogMsg):
+        mtype, epoch, body = T_WRITE_LOG, msg.epoch, _encode_records(msg.records)
+    elif isinstance(msg, NewIntervalMsg):
+        mtype, epoch, a = T_NEW_INTERVAL, msg.epoch, msg.starting_lsn
+    elif isinstance(msg, NewHighLSNMsg):
+        mtype, a = T_NEW_HIGH_LSN, msg.new_high_lsn
+    elif isinstance(msg, MissingIntervalMsg):
+        mtype, a, b = T_MISSING_INTERVAL, msg.lo, msg.hi
+    elif isinstance(msg, IntervalListCall):
+        mtype = T_INTERVAL_LIST_CALL
+    elif isinstance(msg, IntervalListReply):
+        mtype = T_INTERVAL_LIST_REPLY
+        body = b"".join(
+            _INTERVAL.pack(_check_u32(i.epoch, "epoch"),
+                           _check_u32(i.lo, "interval lo"),
+                           _check_u32(i.hi, "interval hi"))
+            for i in msg.intervals
+        )
+    elif isinstance(msg, ReadLogForwardCall):
+        mtype, a = T_READ_LOG_FORWARD, msg.lsn
+    elif isinstance(msg, ReadLogBackwardCall):
+        mtype, a = T_READ_LOG_BACKWARD, msg.lsn
+    elif isinstance(msg, ReadLogReply):
+        mtype, body = T_READ_LOG_REPLY, _encode_records(msg.records)
+    elif isinstance(msg, CopyLogCall):
+        mtype, epoch, body = T_COPY_LOG, msg.epoch, _encode_records(msg.records)
+    elif isinstance(msg, InstallCopiesCall):
+        mtype, epoch = T_INSTALL_COPIES, msg.epoch
+    elif isinstance(msg, AckReply):
+        mtype, a = T_ACK, int(msg.ok)
+    elif isinstance(msg, ErrorReply):
+        mtype, body = T_ERROR, msg.reason.encode("utf-8")
+    elif isinstance(msg, GeneratorReadCall):
+        mtype = T_GENERATOR_READ_CALL
+    elif isinstance(msg, GeneratorReadReply):
+        mtype = T_GENERATOR_READ_REPLY
+        a, b = msg.value & 0xFFFFFFFF, msg.value >> 32
+        _check_u32(b, "generator value high word")
+    elif isinstance(msg, GeneratorWriteCall):
+        mtype = T_GENERATOR_WRITE_CALL
+        a, b = msg.value & 0xFFFFFFFF, msg.value >> 32
+        _check_u32(b, "generator value high word")
+    else:
+        raise WireCodecError(f"cannot encode {type(msg).__name__}")
+    header = _HEADER.pack(
+        MESSAGE_MAGIC, mtype, WIRE_VERSION,
+        _encode_client_id(msg.client_id),
+        _check_u32(epoch, "epoch"), _check_u32(a, "field a"),
+        _check_u32(b, "field b"),
+    )
+    encoded = header + body
+    if len(encoded) != msg.wire_size:
+        raise WireCodecError(
+            f"{type(msg).__name__} encoded to {len(encoded)} bytes but "
+            f"declares wire_size {msg.wire_size}"
+        )
+    return encoded
+
+
+def decode(buf: bytes) -> Message:
+    """Decode one encoded message (the payload of one frame)."""
+    if len(buf) < MESSAGE_HEADER_BYTES:
+        raise WireCodecError(f"message shorter than header: {len(buf)} bytes")
+    magic, mtype, version, cid_raw, epoch, a, b = _HEADER.unpack_from(buf, 0)
+    if magic != MESSAGE_MAGIC:
+        raise WireCodecError(f"bad magic 0x{magic:04x}")
+    if version != WIRE_VERSION:
+        raise WireCodecError(f"unsupported wire version {version}")
+    client_id = _decode_client_id(cid_raw)
+    off = MESSAGE_HEADER_BYTES
+    try:
+        if mtype == T_WRITE_LOG:
+            return WriteLogMsg(client_id, epoch, _decode_records(buf, off))
+        if mtype == T_FORCE_LOG:
+            return ForceLogMsg(client_id, epoch, _decode_records(buf, off))
+        if mtype == T_NEW_INTERVAL:
+            return NewIntervalMsg(client_id, epoch, a)
+        if mtype == T_NEW_HIGH_LSN:
+            return NewHighLSNMsg(client_id, a)
+        if mtype == T_MISSING_INTERVAL:
+            return MissingIntervalMsg(client_id, a, b)
+        if mtype == T_INTERVAL_LIST_CALL:
+            return IntervalListCall(client_id)
+        if mtype == T_INTERVAL_LIST_REPLY:
+            if (len(buf) - off) % _INTERVAL.size:
+                raise WireCodecError("interval body not a multiple of 12")
+            intervals = tuple(
+                Interval(e, lo, hi)
+                for e, lo, hi in _INTERVAL.iter_unpack(buf[off:])
+            )
+            return IntervalListReply(client_id, intervals)
+        if mtype == T_READ_LOG_FORWARD:
+            return ReadLogForwardCall(client_id, a)
+        if mtype == T_READ_LOG_BACKWARD:
+            return ReadLogBackwardCall(client_id, a)
+        if mtype == T_READ_LOG_REPLY:
+            return ReadLogReply(client_id, _decode_records(buf, off))
+        if mtype == T_COPY_LOG:
+            return CopyLogCall(client_id, epoch, _decode_records(buf, off))
+        if mtype == T_INSTALL_COPIES:
+            return InstallCopiesCall(client_id, epoch)
+        if mtype == T_ACK:
+            return AckReply(client_id, bool(a))
+        if mtype == T_ERROR:
+            return ErrorReply(client_id, buf[off:].decode("utf-8"))
+        if mtype == T_GENERATOR_READ_CALL:
+            return GeneratorReadCall(client_id)
+        if mtype == T_GENERATOR_READ_REPLY:
+            return GeneratorReadReply(client_id, (b << 32) | a)
+        if mtype == T_GENERATOR_WRITE_CALL:
+            return GeneratorWriteCall(client_id, (b << 32) | a)
+    except ValueError as exc:
+        raise WireCodecError(str(exc)) from exc
+    raise WireCodecError(f"unknown message type {mtype}")
+
+
+# -- stream framing ---------------------------------------------------------
+
+
+def frame(msg: Message) -> bytes:
+    """Length-prefixed frame ready for a stream write."""
+    payload = encode(msg)
+    return _FRAME_PREFIX.pack(len(payload)) + payload
+
+
+async def read_message(reader: asyncio.StreamReader) -> Message | None:
+    """Read one framed message; ``None`` on clean EOF at a frame edge."""
+    try:
+        prefix = await reader.readexactly(_FRAME_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireCodecError("stream ended inside a frame prefix") from exc
+    (length,) = _FRAME_PREFIX.unpack(prefix)
+    if length < MESSAGE_HEADER_BYTES or length > MAX_FRAME_BYTES:
+        raise WireCodecError(f"implausible frame length {length}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireCodecError("stream ended inside a frame") from exc
+    return decode(payload)

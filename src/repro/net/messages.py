@@ -226,6 +226,10 @@ class ErrorReply(Message):
 
     reason: str = ""
 
+    @property
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + len(self.reason.encode("utf-8"))
+
 
 # -- Appendix I: generator-state representative calls --------------------------
 #

@@ -1,0 +1,43 @@
+"""Real network runtime: the protocol over TCP between OS processes.
+
+Where :mod:`repro.sim` *models* the distributed log (simulated clocks,
+LAN contention, failure injection), this package *runs* it:
+
+* :mod:`repro.rt.filestore` — durable file-backed log-server storage:
+  an fsync'd append stream replayed through the unchanged in-memory
+  store on recovery, plus a persisted append-forest index;
+* :mod:`repro.rt.server` — the asyncio log-server daemon speaking the
+  Figure 4-1 message set in the binary encoding of
+  :mod:`repro.net.codec`;
+* :mod:`repro.rt.client` — the asyncio N-of-M replicated-log client
+  with epoch-bumped restart;
+* :mod:`repro.rt.cluster` — a loopback cluster harness spawning M
+  server processes for tests and benchmarks;
+* :mod:`repro.rt.loadgen` — an ET1-shaped load driver reporting
+  throughput and ForceLog latency percentiles.
+
+The core protocol logic (interval merging, quorum sizes, recovery
+steps, retry schedule) is imported from :mod:`repro.core` unchanged —
+the runtime swaps the simulated transport and storage for real ones.
+"""
+
+from .client import AsyncReplicatedLog, ServerConnection, async_retry
+from .cluster import LoopbackCluster, ServerProcess
+from .filestore import FileLogStore, FilePageStore
+from .loadgen import LoadReport, run_loadgen, run_loadgen_sync
+from .server import LogServerDaemon, run_server
+
+__all__ = [
+    "AsyncReplicatedLog",
+    "FileLogStore",
+    "FilePageStore",
+    "LoadReport",
+    "LogServerDaemon",
+    "LoopbackCluster",
+    "ServerConnection",
+    "ServerProcess",
+    "async_retry",
+    "run_loadgen",
+    "run_loadgen_sync",
+    "run_server",
+]

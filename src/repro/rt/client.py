@@ -1,0 +1,680 @@
+"""The asyncio replicated-log client (N-of-M over real TCP).
+
+Implements the client side of Section 3.1.2 and the grouped interface
+of Section 4.2 against :class:`~repro.rt.server.LogServerDaemon`
+processes, reusing the core logic unchanged: interval merging
+(:class:`~repro.core.intervals.MergedIntervalMap`), the ``(M, N, δ)``
+configuration, the Appendix I quorum rule for epoch numbers, and the
+:class:`~repro.core.retry.RetryPolicy` backoff schedule (slept on
+``asyncio.sleep``).
+
+Write path (grouped/streamed):
+
+* :meth:`AsyncReplicatedLog.write` buffers records and streams a
+  WriteLog batch to the ``N`` write-set servers when a network
+  packet's worth has accumulated — no acknowledgment;
+* :meth:`AsyncReplicatedLog.force` sends the entire unacknowledged
+  window as one ForceLog and awaits a NewHighLSN ack from every
+  write-set server; a window is bounded by ``δ`` ("the client must
+  limit the number of records contained in unacknowledged WriteLog and
+  ForceLog messages"), so a force is triggered implicitly when the
+  window fills;
+* a write-set server that dies is replaced mid-stream: the client
+  picks a spare, announces the fresh interval with NewInterval, and
+  re-sends the unacknowledged window there ("a client can switch
+  servers when necessary") — duplicate retransmissions to surviving
+  servers are tolerated by the store.
+
+Restart (:meth:`AsyncReplicatedLog.initialize`) gathers interval lists
+from at least ``M − N + 1`` servers, merges them, draws a fresh epoch
+from the replicated generator (majority read + majority write over the
+same connections), copies the last ``δ`` records under the new epoch,
+appends ``δ`` not-present guards, and installs atomically — the exact
+procedure of :mod:`repro.core.recovery`, spoken over the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Awaitable, Callable, Iterable, Mapping
+
+from ..core.config import ReplicationConfig
+from ..core.errors import (
+    LSNNotWritten,
+    NotEnoughServers,
+    NotInitialized,
+    RecordNotPresent,
+    ServerUnavailable,
+    StaleEpoch,
+)
+from ..core.epoch import read_quorum_size, write_quorum_size
+from ..core.intervals import MergedIntervalMap, ServerIntervals
+from ..core.records import Epoch, LogRecord, LSN, StoredRecord
+from ..core.retry import RetryPolicy
+from ..net.codec import frame, read_message
+from ..net.messages import (
+    RECORD_HEADER_BYTES,
+    CopyLogCall,
+    ErrorReply,
+    ForceLogMsg,
+    GeneratorReadCall,
+    GeneratorReadReply,
+    GeneratorWriteCall,
+    InstallCopiesCall,
+    IntervalListCall,
+    IntervalListReply,
+    Message,
+    MissingIntervalMsg,
+    NewHighLSNMsg,
+    NewIntervalMsg,
+    ReadLogForwardCall,
+    ReadLogReply,
+    WriteLogMsg,
+)
+from ..net.packet import PACKET_PAYLOAD_BYTES
+
+
+class ServerConnection:
+    """One TCP connection to one log server, with reply routing.
+
+    The stream interleaves three traffic classes: in-order replies to
+    synchronous calls, NewHighLSN force acknowledgments, and
+    unsolicited MissingInterval negative acknowledgments.  A reader
+    task dispatches each: acks resolve every force waiter at or below
+    the acknowledged LSN, MissingInterval goes to ``on_missing``, and
+    everything else answers the oldest pending call (TCP preserves
+    request order, and the daemon replies inline).
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 5.0,
+        on_missing: Callable[[str, MissingIntervalMsg], None] | None = None,
+    ):
+        self.server_id = server_id
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.on_missing = on_missing
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: list[asyncio.Future] = []
+        self._force_waiters: list[tuple[LSN, asyncio.Future]] = []
+        self.alive = False
+
+    async def connect(self) -> None:
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServerUnavailable(self.server_id, str(exc)) from exc
+        self.alive = True
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                msg = await read_message(self._reader)
+                if msg is None:
+                    break
+                if isinstance(msg, NewHighLSNMsg):
+                    self._ack_forces(msg.new_high_lsn)
+                elif isinstance(msg, MissingIntervalMsg):
+                    if self.on_missing is not None:
+                        self.on_missing(self.server_id, msg)
+                else:
+                    if self._pending:
+                        self._pending.pop(0).set_result(msg)
+        except Exception:
+            pass
+        finally:
+            self._fail_all("connection lost")
+
+    def _ack_forces(self, acked: LSN) -> None:
+        remaining = []
+        for high, fut in self._force_waiters:
+            if high <= acked:
+                if not fut.done():
+                    fut.set_result(acked)
+            else:
+                remaining.append((high, fut))
+        self._force_waiters = remaining
+
+    def _fail_all(self, reason: str) -> None:
+        self.alive = False
+        exc = ServerUnavailable(self.server_id, reason)
+        for fut in self._pending:
+            if not fut.done():
+                fut.set_exception(exc)
+        for _, fut in self._force_waiters:
+            if not fut.done():
+                fut.set_exception(exc)
+        self._pending = []
+        self._force_waiters = []
+
+    def _require_alive(self) -> asyncio.StreamWriter:
+        if not self.alive or self._writer is None:
+            raise ServerUnavailable(self.server_id, "not connected")
+        return self._writer
+
+    async def send(self, msg: Message) -> None:
+        """Fire an asynchronous message (WriteLog, NewInterval)."""
+        writer = self._require_alive()
+        try:
+            writer.write(frame(msg))
+            await asyncio.wait_for(writer.drain(), self.timeout)
+        except (OSError, asyncio.TimeoutError) as exc:
+            self._fail_all(str(exc))
+            raise ServerUnavailable(self.server_id, str(exc)) from exc
+
+    async def call(self, msg: Message) -> Message:
+        """Send a synchronous call; await its reply in order.
+
+        An :class:`ErrorReply` surfaces as :class:`ServerUnavailable`
+        — the per-server failure the core algorithm already knows how
+        to route around.
+        """
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append(fut)
+        await self.send(msg)
+        try:
+            reply = await asyncio.wait_for(fut, self.timeout)
+        except asyncio.TimeoutError as exc:
+            self._fail_all("call timed out")
+            raise ServerUnavailable(self.server_id, "call timed out") from exc
+        if isinstance(reply, ErrorReply):
+            raise ServerUnavailable(self.server_id, reply.reason)
+        return reply
+
+    async def force(self, msg: ForceLogMsg) -> LSN:
+        """Send a ForceLog and await its NewHighLSN acknowledgment."""
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._force_waiters.append((msg.high_lsn, fut))
+        await self.send(msg)
+        try:
+            return await asyncio.wait_for(fut, self.timeout)
+        except asyncio.TimeoutError as exc:
+            self._fail_all("force ack timed out")
+            raise ServerUnavailable(self.server_id,
+                                    "force ack timed out") from exc
+
+    async def close(self) -> None:
+        self.alive = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def async_retry(
+    fn: Callable[[], Awaitable],
+    policy: RetryPolicy,
+    rng: random.Random,
+    retry_on: tuple[type[BaseException], ...] = (NotEnoughServers,),
+    on_retry: Callable[[int], Awaitable] | None = None,
+):
+    """:func:`repro.core.retry.retry_call` for coroutines.
+
+    Same schedule and jitter stream; the delay is spent on
+    ``asyncio.sleep`` instead of ``time.sleep``.
+    """
+    attempt = 0
+    while True:
+        try:
+            return await fn()
+        except retry_on:
+            if attempt >= policy.max_attempts - 1:
+                raise
+            if on_retry is not None:
+                await on_retry(attempt)
+            await asyncio.sleep(policy.delay(attempt, rng))
+            attempt += 1
+
+
+class AsyncReplicatedLog:
+    """Client-side replicated log over ``M`` real servers, ``N`` copies.
+
+    ``servers`` maps server id → ``(host, port)``.  The instance is
+    not safe for concurrent use by multiple tasks (the paper's log is
+    single-client by design; run one instance per client task).
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        servers: Mapping[str, tuple[str, int]],
+        config: ReplicationConfig,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        timeout: float = 5.0,
+        batch_bytes: int = PACKET_PAYLOAD_BYTES,
+    ):
+        if len(servers) != config.total_servers:
+            raise NotEnoughServers(
+                f"configuration names M={config.total_servers} servers "
+                f"but {len(servers)} addresses were supplied"
+            )
+        self.client_id = client_id
+        self.config = config
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.timeout = timeout
+        self.batch_bytes = batch_bytes
+        self._conns: dict[str, ServerConnection] = {
+            sid: ServerConnection(sid, host, port, timeout=timeout,
+                                  on_missing=self._on_missing)
+            for sid, (host, port) in servers.items()
+        }
+        self._merged: MergedIntervalMap | None = None
+        self._epoch: Epoch = 0
+        self._next_lsn: LSN = 1
+        self._write_set: list[str] = []
+        #: records buffered, not yet sent anywhere.
+        self._buffer: list[StoredRecord] = []
+        #: records sent (or buffered) since the last fully-acked force.
+        self._window: list[StoredRecord] = []
+        self._last_record: StoredRecord | None = None
+        # Bookkeeping for experiments and tests:
+        self.writes_performed = 0
+        self.forces_performed = 0
+        self.reads_performed = 0
+        self.recoveries_performed = 0
+        self.server_switches = 0
+        self.missing_intervals_seen = 0
+
+    # -- connection management ----------------------------------------
+
+    async def _ensure_connections(self) -> list[str]:
+        """(Re)connect every dead server; return ids of live ones."""
+        for conn in self._conns.values():
+            if not conn.alive:
+                try:
+                    await conn.connect()
+                except ServerUnavailable:
+                    continue
+        return [sid for sid, conn in self._conns.items() if conn.alive]
+
+    def _on_missing(self, server_id: str, msg: MissingIntervalMsg) -> None:
+        """Answer a MissingInterval NAK with NewInterval.
+
+        The gap means those records were written to other servers while
+        this one was out of the write set; telling it to start a new
+        interval is the Figure 4-1 response.
+        """
+        self.missing_intervals_seen += 1
+        conn = self._conns.get(server_id)
+        if conn is not None and conn.alive and self._epoch:
+            asyncio.ensure_future(conn.send(NewIntervalMsg(
+                self.client_id, self._epoch, starting_lsn=msg.hi + 1
+            )))
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        return self._merged is not None
+
+    async def initialize(self) -> None:
+        """The client restart procedure of Section 3.1.2, over TCP."""
+
+        async def attempt() -> None:
+            await self._ensure_connections()
+            lists = await self._gather_interval_lists()
+            merged = MergedIntervalMap.merge(lists)
+            epoch = await self._new_epoch(merged.highest_epoch())
+            await self._perform_recovery(merged, epoch)
+
+        async def on_retry(_attempt: int) -> None:
+            await self._ensure_connections()
+
+        await async_retry(attempt, self.retry_policy, self.rng,
+                          on_retry=on_retry)
+        self.recoveries_performed += 1
+
+    async def _gather_interval_lists(self) -> list[ServerIntervals]:
+        results: list[ServerIntervals] = []
+        for sid in sorted(self._conns):
+            conn = self._conns[sid]
+            if not conn.alive:
+                continue
+            try:
+                reply = await conn.call(IntervalListCall(self.client_id))
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, IntervalListReply):
+                results.append(ServerIntervals(sid, reply.intervals))
+        if len(results) < self.config.init_quorum:
+            raise NotEnoughServers(
+                f"client initialization needs interval lists from "
+                f"{self.config.init_quorum} servers; only {len(results)} "
+                f"responded"
+            )
+        return results
+
+    async def _new_epoch(self, floor: Epoch) -> Epoch:
+        """Appendix I NewID over the log-server connections.
+
+        Reads ``⌈(M+1)/2⌉`` generator representatives, writes
+        ``max + 1`` to ``⌈M/2⌉`` — the read set of any invocation
+        intersects the write set of every earlier one.
+        """
+        m = self.config.total_servers
+        values: list[int] = []
+        writable: list[ServerConnection] = []
+        for sid in sorted(self._conns):
+            conn = self._conns[sid]
+            if not conn.alive:
+                continue
+            try:
+                reply = await conn.call(GeneratorReadCall(self.client_id))
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, GeneratorReadReply):
+                values.append(reply.value)
+                writable.append(conn)
+        if len(values) < read_quorum_size(m):
+            raise NotEnoughServers(
+                f"generator read quorum needs {read_quorum_size(m)} "
+                f"representatives, only {len(values)} available"
+            )
+        new_value = max(values) + 1
+        if new_value <= floor:
+            raise StaleEpoch("generator", new_value, floor)
+        written = 0
+        for conn in writable:
+            try:
+                await conn.call(GeneratorWriteCall(self.client_id,
+                                                   value=new_value))
+            except ServerUnavailable:
+                continue
+            written += 1
+            if written >= write_quorum_size(m):
+                break
+        if written < write_quorum_size(m):
+            raise NotEnoughServers(
+                f"generator write quorum needs {write_quorum_size(m)} "
+                f"representatives, wrote {written}"
+            )
+        return new_value
+
+    async def _fetch_record(
+        self, merged: MergedIntervalMap, lsn: LSN
+    ) -> StoredRecord:
+        """The winning copy of ``lsn`` from some server storing it."""
+        for sid in merged.servers_for(lsn):
+            conn = self._conns.get(sid)
+            if conn is None or not conn.alive:
+                continue
+            try:
+                reply = await conn.call(
+                    ReadLogForwardCall(self.client_id, lsn)
+                )
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, ReadLogReply):
+                for record in reply.records:
+                    if record.lsn == lsn:
+                        return record
+        raise NotEnoughServers(
+            f"no reachable server stores LSN {lsn} needed for recovery"
+        )
+
+    async def _perform_recovery(
+        self, merged: MergedIntervalMap, new_epoch: Epoch
+    ) -> None:
+        """Steps 3–5 of the restart procedure: copy, guard, install."""
+        config = self.config
+        high = merged.high_lsn() or 0
+        copy_lsns = [lsn
+                     for lsn in range(max(1, high - config.delta + 1), high + 1)
+                     if lsn in merged]
+        staged = [
+            StoredRecord(lsn=r.lsn, epoch=new_epoch, present=r.present,
+                         data=r.data, kind=r.kind)
+            for r in [await self._fetch_record(merged, lsn)
+                      for lsn in copy_lsns]
+        ] + [
+            StoredRecord(lsn=high + i, epoch=new_epoch, present=False,
+                         kind="guard")
+            for i in range(1, config.delta + 1)
+        ]
+        ordered = list(self._write_set) + [
+            sid for sid in sorted(self._conns) if sid not in self._write_set
+        ]
+        installed: list[str] = []
+        for sid in ordered:
+            if len(installed) >= config.copies:
+                break
+            conn = self._conns[sid]
+            if not conn.alive:
+                continue
+            try:
+                await conn.call(CopyLogCall(self.client_id, new_epoch,
+                                            tuple(staged)))
+                await conn.call(InstallCopiesCall(self.client_id, new_epoch))
+            except ServerUnavailable:
+                continue
+            installed.append(sid)
+        if len(installed) < config.copies:
+            raise NotEnoughServers(
+                f"recovery could install copies on only {len(installed)} "
+                f"servers; {config.copies} required"
+            )
+        for record in staged:
+            for sid in installed:
+                merged.note(record.lsn, new_epoch, sid)
+        self._merged = merged
+        self._epoch = new_epoch
+        self._next_lsn = (merged.high_lsn() or 0) + 1
+        self._write_set = installed
+        self._buffer = []
+        self._window = []
+        self._last_record = staged[-1] if staged else None
+
+    def _require_init(self) -> MergedIntervalMap:
+        if self._merged is None:
+            raise NotInitialized(
+                "the replicated log must be initialized before use"
+            )
+        return self._merged
+
+    # -- the write path -----------------------------------------------
+
+    async def write(self, data: bytes, kind: str = "data") -> LSN:
+        """WriteLog: append ``data``; returns its LSN immediately.
+
+        The record is buffered; it reaches the network when a packet
+        fills, and becomes durable at the next :meth:`force` (whose ack
+        covers the whole window) — exactly the paper's asynchronous
+        WriteLog contract.
+        """
+        self._require_init()
+        lsn = self._next_lsn
+        record = StoredRecord(lsn=lsn, epoch=self._epoch, present=True,
+                              data=data, kind=kind)
+        self._next_lsn = lsn + 1
+        self._buffer.append(record)
+        self.writes_performed += 1
+        if len(self._window) + len(self._buffer) >= self.config.delta:
+            # δ unacknowledged records: must not run further ahead.
+            await self.force()
+        elif self._batch_size(self._buffer) >= self.batch_bytes:
+            await self._flush_writes()
+        return lsn
+
+    @staticmethod
+    def _batch_size(records: Iterable[StoredRecord]) -> int:
+        return sum(RECORD_HEADER_BYTES + len(r.data) for r in records)
+
+    async def _flush_writes(self) -> None:
+        """Stream the buffer as an unacknowledged WriteLog batch."""
+        if not self._buffer:
+            return
+        batch = tuple(self._buffer)
+        msg = WriteLogMsg(self.client_id, self._epoch, batch)
+        for sid in list(self._write_set):
+            try:
+                await self._conns[sid].send(msg)
+            except ServerUnavailable:
+                await self._replace_server(sid)
+        self._window.extend(batch)
+        self._buffer = []
+
+    async def force(self) -> LSN:
+        """ForceLog: make every buffered record durable on N servers.
+
+        Sends the whole unacknowledged window (re-sending records
+        already streamed by WriteLog — duplicates are tolerated) and
+        waits for a NewHighLSN from each write-set server, replacing
+        dead servers as needed.
+        """
+        self._require_init()
+        records = tuple(self._window) + tuple(self._buffer)
+        if not records:
+            if self._last_record is None or self._last_record.epoch != self._epoch:
+                return self._next_lsn - 1
+            # Nothing unacknowledged: re-force the tail record so the
+            # ack still carries a durability promise for this epoch.
+            records = (self._last_record,)
+        msg = ForceLogMsg(self.client_id, self._epoch, records)
+
+        # _replace_server rewrites self._write_set in place and feeds
+        # the replacement the whole window, so a server lost mid-loop
+        # still leaves every record on N servers.  When no spare exists
+        # it raises NotEnoughServers, which the retry policy paces
+        # while outages heal.
+        async def guarded() -> LSN:
+            for sid in list(self._write_set):
+                conn = self._conns[sid]
+                try:
+                    await conn.force(msg)
+                except ServerUnavailable:
+                    await self._replace_server(sid, records)
+            return msg.high_lsn
+
+        high = await async_retry(guarded, self.retry_policy, self.rng,
+                                 on_retry=self._reconnect_for_retry)
+        merged = self._require_init()
+        for record in records:
+            for sid in self._write_set:
+                merged.note(record.lsn, self._epoch, sid)
+        self._window = []
+        self._buffer = []
+        self._last_record = records[-1]
+        self.forces_performed += 1
+        return high
+
+    async def _reconnect_for_retry(self, _attempt: int) -> None:
+        await self._ensure_connections()
+
+    async def _replace_server(
+        self, dead_sid: str, pending: tuple[StoredRecord, ...] = ()
+    ) -> None:
+        """Swap a failed write-set server for a spare, mid-stream.
+
+        The spare is told where the fresh interval starts (NewInterval)
+        and force-fed the unacknowledged window so every pending record
+        still reaches ``N`` servers.
+        """
+        live = await self._ensure_connections()
+        spares = [sid for sid in sorted(live)
+                  if sid not in self._write_set]
+        pending = pending or tuple(self._window) + tuple(self._buffer)
+        merged = self._require_init()
+        for spare in spares:
+            conn = self._conns[spare]
+            try:
+                if pending:
+                    await conn.send(NewIntervalMsg(
+                        self.client_id, self._epoch,
+                        starting_lsn=pending[0].lsn,
+                    ))
+                    await conn.force(ForceLogMsg(
+                        self.client_id, self._epoch, pending
+                    ))
+            except ServerUnavailable:
+                continue
+            index = self._write_set.index(dead_sid)
+            self._write_set[index] = spare
+            for record in pending:
+                merged.note(record.lsn, self._epoch, spare)
+            self.server_switches += 1
+            return
+        raise NotEnoughServers(
+            f"no spare server available to replace {dead_sid}"
+        )
+
+    # -- reads --------------------------------------------------------
+
+    async def read(self, lsn: LSN) -> LogRecord:
+        """ReadLog: the record written with LSN ``lsn``."""
+        merged = self._require_init()
+        entry = merged.entry(lsn)
+        if entry is None:
+            raise LSNNotWritten(lsn)
+        for sid in entry.servers:
+            conn = self._conns.get(sid)
+            if conn is None or not conn.alive:
+                continue
+            try:
+                reply = await conn.call(ReadLogForwardCall(self.client_id, lsn))
+            except ServerUnavailable:
+                continue
+            if not isinstance(reply, ReadLogReply):
+                continue
+            for record in reply.records:
+                if record.lsn == lsn and record.epoch >= entry.epoch:
+                    self.reads_performed += 1
+                    if not record.present:
+                        raise RecordNotPresent(lsn)
+                    return record.to_log_record()
+        raise NotEnoughServers(f"no server holding LSN {lsn} is reachable")
+
+    async def read_forward(self, lsn: LSN) -> tuple[StoredRecord, ...]:
+        """ReadLogForward from any server known to store ``lsn``."""
+        merged = self._require_init()
+        for sid in merged.servers_for(lsn):
+            conn = self._conns.get(sid)
+            if conn is None or not conn.alive:
+                continue
+            try:
+                reply = await conn.call(ReadLogForwardCall(self.client_id, lsn))
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, ReadLogReply):
+                return reply.records
+        raise NotEnoughServers(f"no server holding LSN {lsn} is reachable")
+
+    def end_of_log(self) -> LSN:
+        """EndOfLog: the high value in the merged interval list."""
+        merged = self._require_init()
+        return merged.high_lsn() or 0
+
+    @property
+    def current_epoch(self) -> Epoch:
+        return self._epoch
+
+    @property
+    def write_set(self) -> tuple[str, ...]:
+        return tuple(self._write_set)
+
+    async def close(self) -> None:
+        for conn in self._conns.values():
+            await conn.close()

@@ -1,0 +1,436 @@
+"""Durable file-backed log-server storage.
+
+One :class:`FileLogStore` is the durable state of one real log-server
+daemon: an fsync'd append stream of log entries (``log.dat``) plus a
+persisted append-forest index per client (``forest-<client>.idx``),
+both crash-recoverable by scan.
+
+The in-memory view replays through the existing
+:class:`~repro.core.store.LogServerStore`, so the Section 3.1.1
+semantics (write-order rules, duplicate tolerance, staged CopyLog /
+atomic InstallCopies, interval lists) are implemented exactly once; the
+file layer adds only durability.
+
+Append stream
+-------------
+
+``log.dat`` is a sequence of entries, each::
+
+    !HB16s — magic, entry type, client id     (19 bytes)
+
+followed by a type-specific payload:
+
+* ``RECORD`` / ``STAGED``: one record in the wire image of
+  :func:`repro.net.codec.encode_stored_record` (16-byte header with a
+  CRC-32 of the data, then the data) — the on-disk and on-wire record
+  bytes are identical;
+* ``INSTALL``: ``!II`` — epoch, CRC-32 of the epoch field;
+* ``GENERATOR``: ``!QI`` — value, CRC-32 of the value field (the
+  Appendix I generator-state representative riding on the log server
+  node).
+
+Recovery scans the stream from the start, replaying every entry whose
+bytes are complete and whose CRC verifies; the first torn or corrupt
+entry ends the valid prefix and the file is truncated there.  A record
+is therefore durable exactly when the ``fsync`` that covered it
+returned — the contract the crash tests assert.
+
+Append-forest index
+-------------------
+
+Steady-state appends (each client's strictly increasing LSN stream)
+are indexed in an append-forest (Section 4.3) whose nodes live in a
+:class:`FilePageStore` — a real-file append-only page store.  The
+forest maps LSN → byte offset of the record's entry in ``log.dat``,
+giving O(log n) point reads from durable state alone
+(:meth:`FileLogStore.read_via_index`).  The index is written buffered:
+if a crash loses its tail, recovery rebuilds the missing suffix from
+the (authoritative) log scan, so the forest never needs an fsync.
+Records re-written below the high-water mark by CopyLog/InstallCopies
+are not re-indexed — append forests require strictly increasing keys —
+and are served from the replayed in-memory state instead.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from ..core.intervals import ServerIntervals
+from ..core.records import Epoch, LSN, StoredRecord
+from ..core.store import LogServerStore
+from ..net.codec import (
+    RECORD_HEADER_BYTES,
+    WireCodecError,
+    decode_stored_record,
+    encode_stored_record,
+)
+from ..storage.append_forest import AppendForest, ForestNode
+
+ENTRY_MAGIC = 0x4C45
+_ENTRY = struct.Struct("!HB16s")
+_INSTALL = struct.Struct("!II")
+_GENERATOR = struct.Struct("!QI")
+
+E_RECORD = 1
+E_STAGED = 2
+E_INSTALL = 3
+E_GENERATOR = 4
+
+PAGE_MAGIC = 0x4C46
+_PAGE = struct.Struct("!HHI")  # magic, payload length, CRC-32(payload)
+_NODE = struct.Struct("!IIqqqIHH")  # lo, hi, left, right, forest, min, h, n
+
+
+class FileStoreError(Exception):
+    """A malformed durable file that is not a recoverable torn tail."""
+
+
+def _pack_addr(address: int | None) -> int:
+    return -1 if address is None else address
+
+
+def _unpack_addr(value: int) -> int | None:
+    return None if value < 0 else value
+
+
+class FilePageStore:
+    """An append-only page store over a real file (forest index pages).
+
+    Satisfies the store interface :class:`AppendForest` needs —
+    ``append`` / ``read`` / ``len`` — with :class:`ForestNode` payloads
+    serialized one per page.  Pages are cached in memory after the
+    opening scan; the file is the durable copy.  A torn final page is
+    dropped at open, matching the append-forest durability contract
+    ("a torn final page simply yields the forest as of the previous
+    append").
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._pages: list[ForestNode] = []
+        self.appends = 0
+        self.reads = 0
+        valid = 0
+        if self.path.exists():
+            raw = self.path.read_bytes()
+            offset = 0
+            while offset + _PAGE.size <= len(raw):
+                magic, plen, crc = _PAGE.unpack_from(raw, offset)
+                body = raw[offset + _PAGE.size:offset + _PAGE.size + plen]
+                if magic != PAGE_MAGIC or len(body) != plen \
+                        or zlib.crc32(body) != crc:
+                    break
+                self._pages.append(self._decode_node(body))
+                offset += _PAGE.size + plen
+                valid = offset
+            if valid < len(raw):
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid)
+        self._file = open(self.path, "ab")
+
+    @staticmethod
+    def _encode_node(node: ForestNode) -> bytes:
+        head = _NODE.pack(
+            node.lo, node.hi, _pack_addr(node.left), _pack_addr(node.right),
+            _pack_addr(node.forest), node.tree_min, node.height,
+            len(node.entries),
+        )
+        return head + struct.pack(f"!{len(node.entries)}Q", *node.entries)
+
+    @staticmethod
+    def _decode_node(body: bytes) -> ForestNode:
+        lo, hi, left, right, forest, tree_min, height, n = \
+            _NODE.unpack_from(body, 0)
+        entries = struct.unpack_from(f"!{n}Q", body, _NODE.size)
+        return ForestNode(
+            lo=lo, hi=hi, entries=entries, left=_unpack_addr(left),
+            right=_unpack_addr(right), forest=_unpack_addr(forest),
+            tree_min=tree_min, height=height,
+        )
+
+    def append(self, payload: ForestNode) -> int:
+        body = self._encode_node(payload)
+        self._file.write(_PAGE.pack(PAGE_MAGIC, len(body), zlib.crc32(body)))
+        self._file.write(body)
+        self._pages.append(payload)
+        self.appends += 1
+        return len(self._pages) - 1
+
+    def read(self, address: int) -> ForestNode:
+        self.reads += 1
+        return self._pages[address]
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def next_address(self) -> int:
+        return len(self._pages)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.flush()
+        self._file.close()
+
+
+def _client_file_tag(client_id: str) -> str:
+    """A filesystem-safe tag for per-client index files."""
+    return client_id.encode("utf-8").hex()
+
+
+class FileLogStore:
+    """Durable state of one real log-server node.
+
+    All mutating operations append to ``log.dat`` first and then update
+    the replayed in-memory :class:`LogServerStore`; acknowledgments are
+    sent only after the append (and, for forces and installs, its
+    ``fsync``) returns.  Reopening the same ``data_dir`` recovers the
+    durable prefix by scan.
+    """
+
+    def __init__(self, data_dir: str | Path, server_id: str):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.server_id = server_id
+        self.mem = LogServerStore(server_id)
+        self.generator_value = 0
+        self._forests: dict[str, AppendForest] = {}
+        self._log_path = self.data_dir / "log.dat"
+        self.recovered_entries = 0
+        self.truncated_bytes = 0
+        self._size = self._recover()
+        self._file = open(self._log_path, "ab")
+
+    # -- recovery -----------------------------------------------------
+
+    def _recover(self) -> int:
+        """Replay the valid prefix of ``log.dat``; return its length."""
+        raw = self._log_path.read_bytes() if self._log_path.exists() else b""
+        offset = 0
+        valid = 0
+        steady: dict[str, list[tuple[LSN, int]]] = {}
+        while offset < len(raw):
+            parsed = self._parse_entry(raw, offset)
+            if parsed is None:
+                break
+            etype, client_id, payload, next_offset = parsed
+            if etype == E_RECORD:
+                self.mem.server_write_record(client_id, payload)
+                steady.setdefault(client_id, []).append(
+                    (payload.lsn, offset)
+                )
+            elif etype == E_STAGED:
+                self.mem.copy_log(client_id, payload.lsn, payload.epoch,
+                                  payload.present, payload.data, payload.kind)
+            elif etype == E_INSTALL:
+                self.mem.install_copies(client_id, payload)
+            else:  # E_GENERATOR
+                self.generator_value = max(self.generator_value, payload)
+            self.recovered_entries += 1
+            offset = next_offset
+            valid = offset
+        if valid < len(raw):
+            self.truncated_bytes = len(raw) - valid
+            with open(self._log_path, "r+b") as fh:
+                fh.truncate(valid)
+        # Rebuild each client's forest from its index file, then index
+        # whatever steady-state suffix the buffered index file lost.
+        for client_id, pairs in steady.items():
+            forest = self._forest(client_id)
+            high = forest.high_key or 0
+            for lsn, entry_offset in pairs:
+                if lsn > high:
+                    forest.append_key(lsn, entry_offset)
+                    high = lsn
+        return valid
+
+    @staticmethod
+    def _parse_entry(
+        raw: bytes, offset: int
+    ) -> tuple[int, str, object, int] | None:
+        """Parse one entry; ``None`` if the tail is torn or corrupt."""
+        if offset + _ENTRY.size > len(raw):
+            return None
+        magic, etype, cid_raw = _ENTRY.unpack_from(raw, offset)
+        if magic != ENTRY_MAGIC:
+            return None
+        body = offset + _ENTRY.size
+        try:
+            client_id = cid_raw.rstrip(b"\x00").decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+        if etype in (E_RECORD, E_STAGED):
+            try:
+                record, end = decode_stored_record(raw, body)
+            except WireCodecError:
+                return None
+            return etype, client_id, record, end
+        if etype == E_INSTALL:
+            if body + _INSTALL.size > len(raw):
+                return None
+            epoch, crc = _INSTALL.unpack_from(raw, body)
+            if zlib.crc32(raw[body:body + 4]) != crc:
+                return None
+            return etype, client_id, epoch, body + _INSTALL.size
+        if etype == E_GENERATOR:
+            if body + _GENERATOR.size > len(raw):
+                return None
+            value, crc = _GENERATOR.unpack_from(raw, body)
+            if zlib.crc32(raw[body:body + 8]) != crc:
+                return None
+            return etype, client_id, value, body + _GENERATOR.size
+        return None
+
+    # -- the durable append path --------------------------------------
+
+    def _append_entry(self, etype: int, client_id: str, payload: bytes,
+                      fsync: bool) -> int:
+        cid_raw = client_id.encode("utf-8")
+        if len(cid_raw) > 16:
+            raise FileStoreError(f"client id {client_id!r} exceeds 16 bytes")
+        offset = self._size
+        buf = _ENTRY.pack(ENTRY_MAGIC, etype, cid_raw) + payload
+        self._file.write(buf)
+        self._size += len(buf)
+        if fsync:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        return offset
+
+    def append_record(self, client_id: str, record: StoredRecord, *,
+                      fsync: bool) -> None:
+        """ServerWriteLog, durably.
+
+        Duplicate retransmissions (already stored, identical) are
+        dropped without touching the file; conflicting rewrites raise
+        :class:`~repro.core.errors.ProtocolError` before any bytes are
+        written.
+        """
+        state = self.mem.client_state(client_id)
+        existing = state.lookup(record.lsn)
+        if existing is not None and existing.epoch == record.epoch \
+                and existing.present == record.present \
+                and existing.data == record.data:
+            return
+        # Validate through the in-memory store first so a protocol
+        # violation leaves the durable stream untouched.
+        self.mem.server_write_record(client_id, record)
+        offset = self._append_entry(
+            E_RECORD, client_id, encode_stored_record(record), fsync
+        )
+        forest = self._forest(client_id)
+        if record.lsn > (forest.high_key or 0):
+            forest.append_key(record.lsn, offset)
+
+    def append_records(self, client_id: str,
+                       records: tuple[StoredRecord, ...], *,
+                       fsync: bool) -> None:
+        """Append a batch; one :meth:`sync` covers the whole batch.
+
+        The sync is unconditional even when every record was a
+        duplicate retransmission: the originals may have arrived in
+        unsynced WriteLogs, and the ForceLog ack promises durability.
+        """
+        for record in records:
+            self.append_record(client_id, record, fsync=False)
+        if fsync:
+            self.sync()
+
+    def sync(self) -> None:
+        """Make everything appended so far durable (flush + fsync)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def stage_copy(self, client_id: str, record: StoredRecord) -> None:
+        """CopyLog: durably stage a rewrite (installed atomically later)."""
+        self.mem.copy_log(client_id, record.lsn, record.epoch,
+                          record.present, record.data, record.kind)
+        self._append_entry(E_STAGED, client_id,
+                           encode_stored_record(record), fsync=False)
+
+    def install_copies(self, client_id: str, epoch: Epoch) -> int:
+        """InstallCopies: the install marker is the durable commit point."""
+        epoch_bytes = struct.pack("!I", epoch)
+        self._append_entry(
+            E_INSTALL, client_id,
+            _INSTALL.pack(epoch, zlib.crc32(epoch_bytes)), fsync=True,
+        )
+        return self.mem.install_copies(client_id, epoch)
+
+    def generator_write(self, value: int) -> None:
+        """Durably advance the Appendix I generator representative."""
+        if value > self.generator_value:
+            value_bytes = struct.pack("!Q", value)
+            self._append_entry(
+                E_GENERATOR, "", _GENERATOR.pack(value, zlib.crc32(value_bytes)),
+                fsync=True,
+            )
+            self.generator_value = value
+
+    # -- reads --------------------------------------------------------
+
+    def interval_list(self, client_id: str) -> ServerIntervals:
+        return self.mem.interval_list(client_id)
+
+    def read_record(self, client_id: str, lsn: LSN) -> StoredRecord:
+        return self.mem.server_read_log(client_id, lsn)
+
+    def stored_lsns(self, client_id: str) -> list[LSN]:
+        """All LSNs stored for a client, sorted (for ReadLog packing)."""
+        return sorted(self.mem.client_state(client_id)._by_lsn)
+
+    def client_high_lsn(self, client_id: str) -> LSN | None:
+        return self.mem.client_state(client_id).high_lsn
+
+    def read_via_index(self, client_id: str, lsn: LSN) -> StoredRecord | None:
+        """Point read through the durable path alone: forest → file.
+
+        Returns ``None`` when the LSN is not in the forest (never
+        appended, or re-written below the high-water mark and so served
+        from replayed state instead).
+        """
+        forest = self._forests.get(client_id)
+        if forest is None:
+            return None
+        try:
+            offset = forest.search(lsn)
+        except KeyError:
+            return None
+        self._file.flush()
+        with open(self._log_path, "rb") as fh:
+            fh.seek(offset + _ENTRY.size)
+            header = fh.read(RECORD_HEADER_BYTES)
+            (dlen,) = struct.unpack_from("!H", header, 10)
+            record, _ = decode_stored_record(header + fh.read(dlen), 0)
+        return record
+
+    def forest(self, client_id: str) -> AppendForest | None:
+        """The client's index forest (for tests and diagnostics)."""
+        return self._forests.get(client_id)
+
+    def _forest(self, client_id: str) -> AppendForest:
+        forest = self._forests.get(client_id)
+        if forest is None:
+            path = self.data_dir / f"forest-{_client_file_tag(client_id)}.idx"
+            forest = AppendForest(FilePageStore(path))
+            forest.rebuild_from_store()
+            self._forests[client_id] = forest
+        return forest
+
+    # -- lifecycle ----------------------------------------------------
+
+    def flush(self) -> None:
+        self._file.flush()
+        for forest in self._forests.values():
+            forest.store.flush()
+
+    def close(self) -> None:
+        self._file.flush()
+        self._file.close()
+        for forest in self._forests.values():
+            forest.store.close()

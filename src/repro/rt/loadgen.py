@@ -1,0 +1,135 @@
+"""ET1-shaped load against a real cluster (the ``repro loadgen`` core).
+
+Drives :class:`~repro.rt.client.AsyncReplicatedLog` with the Section
+4.1 logging profile — seven 100-byte records per transaction, six
+buffered WriteLogs and one forced commit — in a closed loop, and
+reports throughput plus ForceLog latency percentiles.  The same
+numbers the simulator's capacity experiments estimate, measured on
+real sockets and real fsyncs (see EXPERIMENTS.md E12 for why loopback
+figures are not the paper's 10 Mbit/s LAN figures).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.config import ReplicationConfig
+from ..workload.et1 import Et1Params, et1_log_pattern
+from .client import AsyncReplicatedLog
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run observed."""
+
+    transactions: int = 0
+    records_written: int = 0
+    bytes_written: int = 0
+    duration_s: float = 0.0
+    force_latencies_s: list[float] = field(default_factory=list)
+    server_switches: int = 0
+    final_epoch: int = 0
+    final_high_lsn: int = 0
+
+    @property
+    def records_per_sec(self) -> float:
+        return self.records_written / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def txns_per_sec(self) -> float:
+        return self.transactions / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def force_p50_ms(self) -> float:
+        return 1e3 * percentile(sorted(self.force_latencies_s), 0.50)
+
+    @property
+    def force_p99_ms(self) -> float:
+        return 1e3 * percentile(sorted(self.force_latencies_s), 0.99)
+
+    def as_dict(self) -> dict:
+        return {
+            "transactions": self.transactions,
+            "records_written": self.records_written,
+            "bytes_written": self.bytes_written,
+            "duration_s": round(self.duration_s, 6),
+            "records_per_sec": round(self.records_per_sec, 3),
+            "txns_per_sec": round(self.txns_per_sec, 3),
+            "force_p50_ms": round(self.force_p50_ms, 3),
+            "force_p99_ms": round(self.force_p99_ms, 3),
+            "server_switches": self.server_switches,
+            "final_epoch": self.final_epoch,
+            "final_high_lsn": self.final_high_lsn,
+        }
+
+
+async def run_loadgen(
+    servers: Mapping[str, tuple[str, int]],
+    config: ReplicationConfig,
+    *,
+    client_id: str = "loadgen",
+    duration_s: float = 5.0,
+    max_txns: int | None = None,
+    params: Et1Params | None = None,
+    log: AsyncReplicatedLog | None = None,
+) -> LoadReport:
+    """Closed-loop ET1 transactions until ``duration_s`` elapses.
+
+    ``max_txns`` caps the run for tests; a pre-initialized ``log`` may
+    be supplied (and is then left open for further use), otherwise one
+    is created, initialized, and closed here.
+    """
+    params = params if params is not None else Et1Params()
+    own_log = log is None
+    if log is None:
+        log = AsyncReplicatedLog(client_id, servers, config)
+        await log.initialize()
+    report = LoadReport()
+    start = time.monotonic()
+    seq = 0
+    try:
+        while True:
+            now = time.monotonic()
+            if now - start >= duration_s:
+                break
+            if max_txns is not None and report.transactions >= max_txns:
+                break
+            for data, kind, forced in et1_log_pattern(params, seq):
+                await log.write(data, kind=kind)
+                report.records_written += 1
+                report.bytes_written += len(data)
+                if forced:
+                    t0 = time.monotonic()
+                    await log.force()
+                    report.force_latencies_s.append(time.monotonic() - t0)
+            report.transactions += 1
+            seq += 1
+        report.duration_s = time.monotonic() - start
+        report.server_switches = log.server_switches
+        report.final_epoch = log.current_epoch
+        report.final_high_lsn = log.end_of_log()
+    finally:
+        if own_log:
+            await log.close()
+    return report
+
+
+def run_loadgen_sync(
+    servers: Mapping[str, tuple[str, int]],
+    config: ReplicationConfig,
+    **kwargs,
+) -> LoadReport:
+    """Blocking wrapper for the CLI and benchmarks."""
+    return asyncio.run(run_loadgen(servers, config, **kwargs))

@@ -1,0 +1,257 @@
+"""The asyncio log-server daemon.
+
+A real-process implementation of the grouped/streamed client–server
+protocol of Section 4.2 (Figure 4-1) over TCP:
+
+* **asynchronous** WriteLog and NewInterval — no reply; the server
+  watches for LSN gaps and sends the MissingInterval negative
+  acknowledgment ("a server detects lost messages when it receives a
+  ForceLog or WriteLog message with log sequence numbers that are not
+  contiguous with those it has previously received");
+* **synchronous** ForceLog — the batch is appended, fsync'd, and
+  acknowledged with NewHighLSN only once durable;
+* **synchronous calls** IntervalList, ReadLogForward, ReadLogBackward
+  (each reply packs as many records as fit in one LAN packet budget),
+  CopyLog, InstallCopies, and the Appendix I generator Read/Write.
+
+One daemon serves many clients over many connections; per-client gap
+tracking is daemon-wide, seeded from the durable high-water mark after
+a restart.  Handlers run inline on the event loop — including the
+``fsync`` — so a force acts as a natural group-commit barrier for
+every connection, the same economy the paper's grouped interface is
+designed around.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from bisect import bisect_left, bisect_right
+
+from ..core.errors import LogError, RecordNotStored
+from ..core.records import LSN, StoredRecord
+from ..net.codec import frame, read_message
+from ..net.messages import (
+    RECORD_HEADER_BYTES,
+    AckReply,
+    CopyLogCall,
+    ErrorReply,
+    ForceLogMsg,
+    GeneratorReadCall,
+    GeneratorReadReply,
+    GeneratorWriteCall,
+    InstallCopiesCall,
+    IntervalListCall,
+    IntervalListReply,
+    Message,
+    MissingIntervalMsg,
+    NewHighLSNMsg,
+    NewIntervalMsg,
+    ReadLogBackwardCall,
+    ReadLogForwardCall,
+    ReadLogReply,
+    WriteLogMsg,
+)
+from ..net.packet import PACKET_PAYLOAD_BYTES
+from .filestore import FileLogStore
+
+log = logging.getLogger(__name__)
+
+
+class LogServerDaemon:
+    """One log-server node: a TCP endpoint over a :class:`FileLogStore`."""
+
+    def __init__(
+        self,
+        store: FileLogStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        read_budget_bytes: int = PACKET_PAYLOAD_BYTES,
+    ):
+        self.store = store
+        self.host = host
+        self.port = port
+        self.read_budget_bytes = read_budget_bytes
+        self._server: asyncio.AbstractServer | None = None
+        #: next LSN expected per client ("contiguous with those it has
+        #: previously received"); absent ⇒ seed from the durable high.
+        self._expected: dict[str, LSN] = {}
+        self.messages_handled = 0
+        self.missing_intervals_sent = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.store.close()
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                msg = await read_message(reader)
+                if msg is None:
+                    break
+                self.messages_handled += 1
+                for reply in self._dispatch(msg):
+                    writer.write(frame(reply))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:
+            log.exception("connection handler failed on %s",
+                          self.store.server_id)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # server shutdown cancels handlers mid-close; swallow
+                # so the cancellation doesn't surface as loop noise
+                pass
+
+    # -- dispatch -----------------------------------------------------
+
+    def _dispatch(self, msg: Message) -> list[Message]:
+        # ForceLogMsg subclasses WriteLogMsg: test it first.
+        if isinstance(msg, ForceLogMsg):
+            return self._on_write(msg, force=True)
+        if isinstance(msg, WriteLogMsg):
+            return self._on_write(msg, force=False)
+        if isinstance(msg, NewIntervalMsg):
+            self._expected[msg.client_id] = msg.starting_lsn
+            return []
+        if isinstance(msg, IntervalListCall):
+            report = self.store.interval_list(msg.client_id)
+            return [IntervalListReply(msg.client_id, report.intervals)]
+        if isinstance(msg, ReadLogForwardCall):
+            return [self._on_read(msg.client_id, msg.lsn, forward=True)]
+        if isinstance(msg, ReadLogBackwardCall):
+            return [self._on_read(msg.client_id, msg.lsn, forward=False)]
+        if isinstance(msg, CopyLogCall):
+            return self._guarded(msg, self._on_copy)
+        if isinstance(msg, InstallCopiesCall):
+            return self._guarded(msg, self._on_install)
+        if isinstance(msg, GeneratorReadCall):
+            return [GeneratorReadReply(msg.client_id,
+                                       self.store.generator_value)]
+        if isinstance(msg, GeneratorWriteCall):
+            self.store.generator_write(msg.value)
+            return [AckReply(msg.client_id, ok=True)]
+        return [ErrorReply(msg.client_id,
+                           f"unhandled message {type(msg).__name__}")]
+
+    def _guarded(self, msg: Message, handler) -> list[Message]:
+        try:
+            return handler(msg)
+        except LogError as exc:
+            return [ErrorReply(msg.client_id, str(exc))]
+
+    def _on_write(self, msg: WriteLogMsg, *, force: bool) -> list[Message]:
+        client_id = msg.client_id
+        out: list[Message] = []
+        expected = self._expected.get(client_id)
+        if expected is None:
+            high = self.store.client_high_lsn(client_id)
+            expected = high + 1 if high is not None else None
+        if expected is not None and msg.low_lsn > expected:
+            out.append(MissingIntervalMsg(client_id, lo=expected,
+                                          hi=msg.low_lsn - 1))
+            self.missing_intervals_sent += 1
+        try:
+            self.store.append_records(client_id, msg.records, fsync=force)
+        except LogError as exc:
+            out.append(ErrorReply(client_id, str(exc)))
+            return out
+        self._expected[client_id] = msg.high_lsn + 1
+        if force:
+            out.append(NewHighLSNMsg(client_id, new_high_lsn=msg.high_lsn))
+        return out
+
+    def _on_read(self, client_id: str, lsn: LSN, *, forward: bool) -> Message:
+        """Pack stored records around ``lsn``, as many as fit a packet.
+
+        Reads start at the requested LSN when it is stored, else at the
+        nearest stored LSN in the scan direction; the reply carries the
+        highest-epoch copy of each.  An empty reply means the server
+        stores nothing on that side.
+        """
+        lsns = self.store.stored_lsns(client_id)
+        picked: list[StoredRecord] = []
+        budget = self.read_budget_bytes
+        if forward:
+            index = bisect_left(lsns, lsn)
+            step = 1
+        else:
+            index = bisect_right(lsns, lsn) - 1
+            step = -1
+        while 0 <= index < len(lsns) and budget > 0:
+            try:
+                record = self.store.read_record(client_id, lsns[index])
+            except RecordNotStored:  # pragma: no cover - lsns() is stored
+                break
+            cost = RECORD_HEADER_BYTES + len(record.data)
+            if picked and cost > budget:
+                break
+            budget -= cost
+            picked.append(record)
+            index += step
+        if not forward:
+            picked.reverse()
+        return ReadLogReply(client_id, tuple(picked))
+
+    def _on_copy(self, msg: CopyLogCall) -> list[Message]:
+        for record in msg.records:
+            self.store.stage_copy(msg.client_id, record)
+        return [AckReply(msg.client_id, ok=True)]
+
+    def _on_install(self, msg: InstallCopiesCall) -> list[Message]:
+        self.store.install_copies(msg.client_id, msg.epoch)
+        return [AckReply(msg.client_id, ok=True)]
+
+
+async def run_server(
+    data_dir: str,
+    server_id: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    announce=print,
+    ready: "asyncio.Event | None" = None,
+) -> None:
+    """Run one daemon until cancelled (the ``repro serve`` entry point).
+
+    Prints ``REPRO-SERVE <server_id> <host> <port>`` once listening so
+    a parent process (:mod:`repro.rt.cluster`) can harvest the
+    ephemeral port.
+    """
+    store = FileLogStore(data_dir, server_id)
+    daemon = LogServerDaemon(store, host, port)
+    await daemon.start()
+    announce(f"REPRO-SERVE {server_id} {daemon.host} {daemon.port}",
+             flush=True)
+    if ready is not None:
+        ready.set()
+    try:
+        await daemon.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await daemon.close()

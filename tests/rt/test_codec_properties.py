@@ -1,0 +1,246 @@
+"""Property tests for the binary wire codec.
+
+Two invariants for every message type:
+
+1. ``decode(encode(msg)) == msg`` — lossless round trip;
+2. ``len(encode(msg)) == msg.wire_size`` — the bytes on the socket are
+   exactly the bytes the Section 4.1 capacity analysis charges
+   (``MESSAGE_HEADER_BYTES`` + ``RECORD_HEADER_BYTES``-per-record +
+   data, or 12 bytes per interval).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.records import StoredRecord
+from repro.net.codec import (
+    KIND_CODES,
+    MAX_CLIENT_ID_BYTES,
+    MAX_RECORD_DATA,
+    WireCodecError,
+    decode,
+    decode_stored_record,
+    encode,
+    encode_stored_record,
+    frame,
+)
+from repro.net.messages import (
+    MESSAGE_HEADER_BYTES,
+    RECORD_HEADER_BYTES,
+    AckReply,
+    CopyLogCall,
+    ErrorReply,
+    ForceLogMsg,
+    GeneratorReadCall,
+    GeneratorReadReply,
+    GeneratorWriteCall,
+    InstallCopiesCall,
+    IntervalListCall,
+    IntervalListReply,
+    MissingIntervalMsg,
+    NewHighLSNMsg,
+    NewIntervalMsg,
+    ReadLogBackwardCall,
+    ReadLogForwardCall,
+    ReadLogReply,
+    WriteLogMsg,
+)
+
+# -- strategies -----------------------------------------------------------
+
+client_ids = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=MAX_CLIENT_ID_BYTES,
+)
+lsns = st.integers(min_value=1, max_value=2**32 - 1)
+epochs = st.integers(min_value=1, max_value=2**32 - 1)
+kinds = st.sampled_from(sorted(KIND_CODES))
+payloads = st.binary(max_size=300)
+
+
+@st.composite
+def record_batches(draw, epoch=None, min_size=1):
+    """Consecutive-LSN records sharing one epoch (a legal batch)."""
+    ep = draw(epochs) if epoch is None else epoch
+    start = draw(st.integers(min_value=1, max_value=2**31))
+    count = draw(st.integers(min_value=min_size, max_value=6))
+    records = []
+    for i in range(count):
+        present = draw(st.booleans())
+        records.append(StoredRecord(
+            lsn=start + i, epoch=ep, present=present,
+            data=draw(payloads) if present else b"",
+            kind=draw(kinds),
+        ))
+    return ep, tuple(records)
+
+
+@st.composite
+def interval_tuples(draw):
+    count = draw(st.integers(min_value=0, max_value=8))
+    out = []
+    for _ in range(count):
+        lo = draw(lsns)
+        hi = draw(st.integers(min_value=lo, max_value=2**32 - 1))
+        out.append(Interval(epoch=draw(epochs), lo=lo, hi=hi))
+    return tuple(out)
+
+
+@st.composite
+def messages(draw):
+    cid = draw(client_ids)
+    which = draw(st.integers(min_value=0, max_value=13))
+    if which == 0:
+        ep, recs = draw(record_batches())
+        return WriteLogMsg(cid, ep, recs)
+    if which == 1:
+        ep, recs = draw(record_batches())
+        return ForceLogMsg(cid, ep, recs)
+    if which == 2:
+        return NewIntervalMsg(cid, draw(epochs), starting_lsn=draw(lsns))
+    if which == 3:
+        return NewHighLSNMsg(cid, new_high_lsn=draw(lsns))
+    if which == 4:
+        lo = draw(lsns)
+        return MissingIntervalMsg(
+            cid, lo=lo, hi=draw(st.integers(min_value=lo,
+                                            max_value=2**32 - 1)))
+    if which == 5:
+        return IntervalListCall(cid)
+    if which == 6:
+        return IntervalListReply(cid, draw(interval_tuples()))
+    if which == 7:
+        return ReadLogForwardCall(cid, lsn=draw(lsns))
+    if which == 8:
+        return ReadLogBackwardCall(cid, lsn=draw(lsns))
+    if which == 9:
+        ep, recs = draw(record_batches(min_size=0))
+        return ReadLogReply(cid, recs)
+    if which == 10:
+        ep, recs = draw(record_batches())
+        return CopyLogCall(cid, ep, recs)
+    if which == 11:
+        return InstallCopiesCall(cid, draw(epochs))
+    if which == 12:
+        return AckReply(cid, ok=draw(st.booleans()))
+    return ErrorReply(cid, draw(st.text(max_size=80)))
+
+
+@st.composite
+def generator_messages(draw):
+    cid = draw(client_ids)
+    which = draw(st.integers(min_value=0, max_value=2))
+    value = draw(st.integers(min_value=0, max_value=2**64 - 1))
+    if which == 0:
+        return GeneratorReadCall(cid)
+    if which == 1:
+        return GeneratorReadReply(cid, value=value)
+    return GeneratorWriteCall(cid, value=value)
+
+
+# -- the two invariants ---------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(messages())
+def test_round_trip(msg):
+    assert decode(encode(msg)) == msg
+
+
+@settings(max_examples=300, deadline=None)
+@given(messages())
+def test_encoded_length_is_wire_size(msg):
+    encoded = encode(msg)
+    assert len(encoded) == msg.wire_size
+    assert msg.wire_size >= MESSAGE_HEADER_BYTES
+
+
+@settings(max_examples=100, deadline=None)
+@given(generator_messages())
+def test_generator_messages_round_trip(msg):
+    assert decode(encode(msg)) == msg
+    assert len(encode(msg)) == msg.wire_size
+
+
+@settings(max_examples=200, deadline=None)
+@given(record_batches())
+def test_stored_record_round_trip(batch):
+    _, records = batch
+    for record in records:
+        buf = encode_stored_record(record)
+        assert len(buf) == RECORD_HEADER_BYTES + len(record.data)
+        decoded, consumed = decode_stored_record(buf, 0)
+        assert decoded == record
+        assert consumed == len(buf)
+
+
+@settings(max_examples=200, deadline=None)
+@given(messages())
+def test_frame_is_length_prefixed(msg):
+    buf = frame(msg)
+    (length,) = struct.unpack_from("!I", buf, 0)
+    assert length == len(buf) - 4 == msg.wire_size
+
+
+def test_wire_size_constants_match_issue_accounting():
+    """The codec's fixed costs are the message-accounting constants."""
+    assert MESSAGE_HEADER_BYTES == 32
+    assert RECORD_HEADER_BYTES == 16
+    rec = StoredRecord(lsn=1, epoch=1, data=b"x" * 100)
+    msg = WriteLogMsg("c", 1, (rec,))
+    assert len(encode(msg)) == 32 + 16 + 100
+    reply = IntervalListReply("c", (Interval(1, 1, 9),))
+    assert len(encode(reply)) == 32 + 12
+
+
+# -- corruption and limits ------------------------------------------------
+
+
+def test_decode_rejects_bad_magic():
+    buf = bytearray(encode(IntervalListCall("c")))
+    buf[0] ^= 0xFF
+    with pytest.raises(WireCodecError):
+        decode(bytes(buf))
+
+
+def test_decode_rejects_truncated_header():
+    buf = encode(IntervalListCall("c"))
+    with pytest.raises(WireCodecError):
+        decode(buf[: MESSAGE_HEADER_BYTES - 1])
+
+
+def test_decode_rejects_corrupt_record_data():
+    msg = WriteLogMsg("c", 1, (StoredRecord(lsn=1, epoch=1, data=b"abcd"),))
+    buf = bytearray(encode(msg))
+    buf[-1] ^= 0xFF  # flip a data byte: CRC must catch it
+    with pytest.raises(WireCodecError):
+        decode(bytes(buf))
+
+
+def test_encode_rejects_oversized_client_id():
+    with pytest.raises(WireCodecError):
+        encode(IntervalListCall("x" * (MAX_CLIENT_ID_BYTES + 1)))
+
+
+def test_encode_rejects_oversized_record_data():
+    rec = StoredRecord(lsn=1, epoch=1, data=b"x" * (MAX_RECORD_DATA + 1))
+    with pytest.raises(WireCodecError):
+        encode(WriteLogMsg("c", 1, (rec,)))
+
+
+def test_encode_rejects_unknown_kind():
+    rec = StoredRecord(lsn=1, epoch=1, data=b"x", kind="mystery")
+    with pytest.raises(WireCodecError):
+        encode(WriteLogMsg("c", 1, (rec,)))
+
+
+def test_error_reply_wire_size_counts_reason_bytes():
+    msg = ErrorReply("c", "déjà vu")
+    assert msg.wire_size == MESSAGE_HEADER_BYTES + len("déjà vu".encode())
+    assert len(encode(msg)) == msg.wire_size

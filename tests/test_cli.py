@@ -19,6 +19,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_serve_requires_data_dir_and_server_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--server-id", "s1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--data-dir", "/tmp/x"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--server", "s1=127.0.0.1:7311"])
+        assert args.copies == 2
+        assert args.delta == 8
+        assert args.server == ["s1=127.0.0.1:7311"]
+
+    def test_loadgen_rejects_malformed_server(self):
+        from repro.cli import _parse_server_arg
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_server_arg("no-equals-sign")
+
 
 class TestCommands:
     def test_availability(self, capsys):
