@@ -14,25 +14,36 @@ two real ``fsync`` calls on the same disk.  The figures are a floor
 for the runtime's software overhead, not a reproduction of the paper's
 capacity numbers — see EXPERIMENTS.md E12.
 
-``REPRO_RT_SMOKE=1`` shortens the run for CI.
+``REPRO_RT_SMOKE=1`` shortens the run for CI.  ``REPRO_RT_CHAOS=1``
+adds a chaos phase: a second run in which one write-set server is
+SIGSTOP'd a quarter of the way in — the gray failure of
+EXPERIMENTS.md E13 — measuring how throughput and worst-case force
+latency degrade while the client's keep-alive probes detect the hang
+and switch to the spare.
 """
 
 from __future__ import annotations
 
+import asyncio
 import os
 import time
 
 from repro.core.config import ReplicationConfig
+from repro.rt.client import AsyncReplicatedLog
 from repro.rt.cluster import LoopbackCluster
-from repro.rt.loadgen import run_loadgen_sync
+from repro.rt.loadgen import run_loadgen, run_loadgen_sync
 
 from ._emit import emit, emit_json, emit_table
 
 SMOKE = bool(os.environ.get("REPRO_RT_SMOKE"))
+CHAOS = bool(os.environ.get("REPRO_RT_CHAOS"))
 DURATION_S = 2.0 if SMOKE else 10.0
 SERVERS = 3
 COPIES = 2
 DELTA = 8
+KEEPALIVE_S = 0.3
+KEEPALIVE_MISSES = 2
+CLIENT_TIMEOUT_S = 4.0
 
 
 def test_bench_real_runtime(tmp_path):
@@ -44,8 +55,6 @@ def test_bench_real_runtime(tmp_path):
             cluster.addresses(), config,
             client_id="bench", duration_s=DURATION_S,
         )
-    wall = time.perf_counter() - start
-
     assert report.transactions > 0
     assert report.records_written == report.transactions * 7
     assert report.server_switches == 0  # nobody was killed
@@ -65,6 +74,16 @@ def test_bench_real_runtime(tmp_path):
     emit("\nloopback != 10 Mbit/s LAN: software-overhead floor, "
          "not the paper's capacity figure")
 
+    metrics = {
+        "transactions": report.transactions,
+        "records_per_sec": round(report.records_per_sec, 3),
+        "txns_per_sec": round(report.txns_per_sec, 3),
+        "force_p50_ms": round(report.force_p50_ms, 3),
+        "force_p99_ms": round(report.force_p99_ms, 3),
+    }
+    if CHAOS:
+        metrics["chaos"] = _run_chaos_phase(tmp_path)
+
     emit_json("real_runtime", {
         "params": {
             "servers": SERVERS,
@@ -72,13 +91,77 @@ def test_bench_real_runtime(tmp_path):
             "delta": DELTA,
             "duration_s": DURATION_S,
             "smoke": SMOKE,
+            "chaos": CHAOS,
         },
-        "metrics": {
-            "transactions": report.transactions,
-            "records_per_sec": round(report.records_per_sec, 3),
-            "txns_per_sec": round(report.txns_per_sec, 3),
-            "force_p50_ms": round(report.force_p50_ms, 3),
-            "force_p99_ms": round(report.force_p99_ms, 3),
-        },
-        "wall_seconds": wall,
+        "metrics": metrics,
+        "wall_seconds": time.perf_counter() - start,
     })
+
+
+def _run_chaos_phase(tmp_path) -> dict:
+    """ET1 load with one write-set server SIGSTOP'd mid-run.
+
+    The victim hangs (sockets alive, replies gone) at 25% of the run;
+    the keep-alive probes must demote it and the run must finish on
+    the spare.  Truncation rounds every 50 transactions keep Section
+    5.3 in the loop as well.
+    """
+    config = ReplicationConfig(total_servers=SERVERS, copies=COPIES,
+                               delta=DELTA)
+    chaos_root = os.path.join(tmp_path, "chaos")
+
+    async def run(cluster: LoopbackCluster):
+        log = AsyncReplicatedLog(
+            "chaos", cluster.addresses(), config,
+            timeout=CLIENT_TIMEOUT_S,
+            keepalive_interval=KEEPALIVE_S,
+            keepalive_misses=KEEPALIVE_MISSES,
+        )
+        await log.initialize()
+        victim: dict[str, str] = {}
+
+        async def saboteur():
+            await asyncio.sleep(DURATION_S * 0.25)
+            sid = log.write_set[0]
+            victim["sid"] = sid
+            cluster.suspend(sid)
+
+        task = asyncio.create_task(saboteur())
+        report = await run_loadgen(
+            cluster.addresses(), config, duration_s=DURATION_S,
+            log=log, truncate_every=50,
+        )
+        await task
+        await log.close()
+        return report, victim["sid"]
+
+    with LoopbackCluster(chaos_root, num_servers=SERVERS) as cluster:
+        report, victim = asyncio.run(run(cluster))
+        cluster.resume(victim)
+
+    assert report.transactions > 0
+    assert report.server_switches >= 1
+    worst_force_ms = 1e3 * max(report.force_latencies_s)
+
+    emit_table(
+        ["quantity", "value"],
+        [
+            ("transactions", report.transactions),
+            ("txns/sec", f"{report.txns_per_sec:.0f}"),
+            ("force p99 (ms)", f"{report.force_p99_ms:.3f}"),
+            ("worst force (ms)", f"{worst_force_ms:.1f}"),
+            ("server switches", report.server_switches),
+            ("truncation rounds", report.truncations),
+        ],
+        title=(f"Chaos phase — {victim} SIGSTOP'd at 25% of a "
+               f"{DURATION_S:.0f}s run"),
+    )
+    return {
+        "victim": victim,
+        "transactions": report.transactions,
+        "txns_per_sec": round(report.txns_per_sec, 3),
+        "force_p99_ms": round(report.force_p99_ms, 3),
+        "worst_force_ms": round(worst_force_ms, 3),
+        "server_switches": report.server_switches,
+        "truncations": report.truncations,
+    }

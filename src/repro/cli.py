@@ -13,7 +13,8 @@ can be regenerated without writing code:
 * ``python -m repro churn``         — availability under crash/repair churn;
 * ``python -m repro restart-latency`` — client init time vs M;
 * ``python -m repro serve``         — run one real log-server daemon;
-* ``python -m repro loadgen``       — drive ET1 load at a real cluster.
+* ``python -m repro loadgen``       — drive ET1 load at a real cluster;
+* ``python -m repro stats``         — query a daemon's counters.
 
 Installed as the ``repro`` console script (``pip install -e .``).
 """
@@ -172,8 +173,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .rt.server import run_server
 
     try:
-        asyncio.run(run_server(args.data_dir, args.server_id,
-                               args.host, args.port))
+        asyncio.run(run_server(
+            args.data_dir, args.server_id, args.host, args.port,
+            compact_watermark_bytes=args.compact_watermark_bytes,
+        ))
     except KeyboardInterrupt:
         pass
     return 0
@@ -195,15 +198,36 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json
 
     from .core.config import ReplicationConfig
-    from .rt.loadgen import run_loadgen_sync
+    from .rt.loadgen import run_loadgen_sync, run_multi_loadgen_sync
 
     servers = dict(_parse_server_arg(s) for s in args.server)
     config = ReplicationConfig(total_servers=len(servers),
                                copies=args.copies, delta=args.delta)
+    if args.clients > 1:
+        multi = run_multi_loadgen_sync(
+            servers, config, clients=args.clients,
+            client_id=args.client_id, duration_s=args.duration,
+            max_txns=args.max_txns, truncate_every=args.truncate_every,
+        )
+        if args.json:
+            print(json.dumps(multi.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_table(
+                ["client", "txns", "txns/s", "p99 force (ms)"],
+                [(r.client_id, r.transactions, f"{r.txns_per_sec:.1f}",
+                  f"{r.force_p99_ms:.2f}") for r in multi.per_client]
+                + [("TOTAL", multi.transactions,
+                    f"{multi.txns_per_sec:.1f}",
+                    f"{multi.force_p99_ms:.2f}")],
+                title=(f"ET1 load: {args.clients} clients against "
+                       f"{len(servers)} real servers (N={args.copies})"),
+            ))
+        return 0
     report = run_loadgen_sync(
         servers, config, client_id=args.client_id,
         duration_s=args.duration,
         max_txns=args.max_txns,
+        truncate_every=args.truncate_every,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -213,6 +237,45 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             [(k, str(v)) for k, v in sorted(report.as_dict().items())],
             title=(f"ET1 load against {len(servers)} real servers "
                    f"(N={args.copies})"),
+        ))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .net.codec import frame, read_message
+    from .net.messages import StatsCall, StatsReply
+
+    host, port = args.address.rsplit(":", 1)
+
+    async def fetch() -> dict:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, int(port)), args.timeout)
+        try:
+            writer.write(frame(StatsCall(args.client_id)))
+            await writer.drain()
+            reply = await asyncio.wait_for(read_message(reader),
+                                           args.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if not isinstance(reply, StatsReply):
+            raise SystemExit(f"unexpected reply: {reply!r}")
+        return reply.as_dict()
+
+    counters = asyncio.run(fetch())
+    if args.json:
+        print(json.dumps(counters, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            ["counter", "value"],
+            [(k, str(v)) for k, v in counters.items()],
+            title=f"log-server stats — {args.address}",
         ))
     return 0
 
@@ -297,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (0 = ephemeral; the chosen port is "
                         "announced as 'REPRO-SERVE <id> <host> <port>')")
+    p.add_argument("--compact-watermark-bytes", type=int, default=None,
+                   help="compact the on-disk log whenever it exceeds "
+                        "this size (Section 5.3 fallback when clients "
+                        "do not send TruncateLog; default off)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -310,9 +377,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=5.0)
     p.add_argument("--max-txns", type=int, default=None)
     p.add_argument("--client-id", default="loadgen")
+    p.add_argument("--clients", type=int, default=1,
+                   help="concurrent closed-loop clients (default 1); "
+                        "with K > 1 each client runs its own log as "
+                        "<client-id>-<i>")
+    p.add_argument("--truncate-every", type=int, default=0,
+                   help="send a Section 5.3 TruncateLog round every "
+                        "this many transactions (default off)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of a table")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "stats", help="query one log server's operational counters")
+    p.add_argument("address", metavar="HOST:PORT")
+    p.add_argument("--client-id", default="stats",
+                   help="client id for per-client counters such as "
+                        "truncated_lsn (default 'stats')")
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_stats)
 
     return parser
 

@@ -104,3 +104,13 @@ class ProtocolError(LogError):
 
 class CrashedError(LogError):
     """An operation was attempted on a crashed node."""
+
+
+class StorageError(LogError):
+    """A server's durable storage failed (disk full, IO error).
+
+    The record was *not* made durable; the server stays up and keeps
+    serving reads, but refuses further appends until the condition is
+    repaired.  Clients treat this like any per-server failure and route
+    the write to a spare (Section 3.2's availability argument).
+    """

@@ -275,6 +275,28 @@ class MergedIntervalMap:
             coalesced.append(seg)
         self._segs = coalesced
 
+    def prune_below(self, low_water: LSN) -> int:
+        """Forget every entry below ``low_water`` (Section 5.3).
+
+        After a TruncateLog round the records below the truncation
+        point "will never be read again"; the client's read-routing
+        table drops them so its size tracks the live log, not its
+        history.  Returns the number of LSNs pruned.
+        """
+        segs = self._segs
+        pruned = 0
+        kept: list[list] = []
+        for seg in segs:
+            if seg[1] < low_water:
+                pruned += seg[1] - seg[0] + 1
+                continue
+            if seg[0] < low_water:
+                pruned += low_water - seg[0]
+                seg[0] = low_water
+            kept.append(seg)
+        self._segs = kept
+        return pruned
+
     # -- queries ------------------------------------------------------
 
     def _seg_for(self, lsn: LSN) -> list | None:

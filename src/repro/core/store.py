@@ -52,6 +52,9 @@ class ClientLogState:
     #: order (the write-order rules enforce it), so extending the last
     #: run reproduces exactly what compressing all records would build.
     _runs: list[list] = field(default_factory=list)
+    #: Section 5.3 low-water mark: records below it have been dropped;
+    #: late retransmissions of them are silently ignored.
+    truncated_below: LSN = 0
 
     @property
     def high_lsn(self) -> LSN | None:
@@ -113,6 +116,36 @@ class ClientLogState:
     def intervals(self) -> tuple[Interval, ...]:
         """The consecutive-LSN / same-epoch runs stored here."""
         return tuple(Interval(e, lo, hi) for e, lo, hi in self._runs)
+
+    def truncate_below(self, low_water: LSN) -> int:
+        """Drop every record with ``lsn < low_water``; return the count.
+
+        Section 5.3 log space management: the client has declared that
+        records below its low-water mark are needed by no recovery
+        class, so the server may reclaim their space.  Interval runs
+        are clipped at the mark — truncation deliberately decouples
+        space reclamation from the strict write ordering (the retained
+        suffix still satisfies every write-order rule, because a
+        subsequence of a legally ordered sequence is legally ordered).
+        """
+        if low_water <= self.truncated_below:
+            return 0
+        before = len(self.records)
+        self.records = [r for r in self.records if r.lsn >= low_water]
+        dropped = before - len(self.records)
+        if dropped:
+            for lsn in [k for k in self._by_lsn if k < low_water]:
+                del self._by_lsn[lsn]
+            clipped: list[list] = []
+            for epoch, lo, hi in self._runs:
+                if hi < low_water:
+                    continue
+                clipped.append([epoch, max(lo, low_water), hi])
+            self._runs = clipped
+            if not self.records:
+                self._high_lsn = None
+        self.truncated_below = low_water
+        return dropped
 
     def stage_copy(self, record: StoredRecord) -> None:
         """Stage a CopyLog record for later atomic installation."""
@@ -196,6 +229,8 @@ class LogServerStore:
         """
         self._check_up()
         state = self.client_state(client_id)
+        if lsn < state.truncated_below:
+            return  # late retransmission of a reclaimed record
         existing = state.lookup(lsn)
         if existing is not None and existing.epoch == epoch:
             if existing.present == present and existing.data == data:
@@ -224,6 +259,8 @@ class LogServerStore:
             state = self.client_state(client_id)
         lsn = record.lsn
         epoch = record.epoch
+        if lsn < state.truncated_below:
+            return  # late retransmission of a reclaimed record
         existing = state._by_lsn.get(lsn)
         if existing is not None and existing.epoch == epoch:
             if existing.present == record.present \
@@ -322,6 +359,17 @@ class LogServerStore:
         installed = self.client_state(client_id).install(epoch)
         self.write_ops += installed
         return installed
+
+    # -- Section 5.3: log space management --------------------------------
+
+    def truncate_below(self, client_id: str, low_water: LSN) -> int:
+        """Drop a client's records below its declared low-water mark."""
+        self._check_up()
+        return self.client_state(client_id).truncate_below(low_water)
+
+    def record_count(self) -> int:
+        """Total records held across all clients (the daemon RSS proxy)."""
+        return sum(len(s.records) for s in self._clients.values())
 
     # -- diagnostics -----------------------------------------------------
 

@@ -61,9 +61,15 @@ from .messages import (
     MissingIntervalMsg,
     NewHighLSNMsg,
     NewIntervalMsg,
+    PingMsg,
+    PongMsg,
     ReadLogBackwardCall,
     ReadLogForwardCall,
     ReadLogReply,
+    StatsCall,
+    StatsReply,
+    TruncateLogCall,
+    TruncateReply,
     WriteLogMsg,
 )
 
@@ -112,6 +118,12 @@ T_ERROR = 14
 T_GENERATOR_READ_CALL = 15
 T_GENERATOR_READ_REPLY = 16
 T_GENERATOR_WRITE_CALL = 17
+T_PING = 18
+T_PONG = 19
+T_TRUNCATE_LOG = 20
+T_TRUNCATE_REPLY = 21
+T_STATS_CALL = 22
+T_STATS_REPLY = 23
 
 #: Record kinds are a closed registry so one byte suffices on the wire
 #: (RECORD_HEADER_BYTES leaves no room for a string).  Every kind the
@@ -260,7 +272,20 @@ def encode(msg: Message) -> bytes:
     elif isinstance(msg, AckReply):
         mtype, a = T_ACK, int(msg.ok)
     elif isinstance(msg, ErrorReply):
-        mtype, body = T_ERROR, msg.reason.encode("utf-8")
+        mtype, a, body = T_ERROR, msg.code, msg.reason.encode("utf-8")
+    elif isinstance(msg, PingMsg):
+        mtype, a = T_PING, msg.token
+    elif isinstance(msg, PongMsg):
+        mtype, a = T_PONG, msg.token
+    elif isinstance(msg, TruncateLogCall):
+        mtype, a = T_TRUNCATE_LOG, msg.low_water_lsn
+    elif isinstance(msg, TruncateReply):
+        mtype, a, b = T_TRUNCATE_REPLY, msg.low_water_lsn, msg.records_dropped
+    elif isinstance(msg, StatsCall):
+        mtype = T_STATS_CALL
+    elif isinstance(msg, StatsReply):
+        mtype = T_STATS_REPLY
+        body = struct.pack(f"!{len(msg.counters)}Q", *msg.counters)
     elif isinstance(msg, GeneratorReadCall):
         mtype = T_GENERATOR_READ_CALL
     elif isinstance(msg, GeneratorReadReply):
@@ -333,7 +358,24 @@ def decode(buf: bytes) -> Message:
         if mtype == T_ACK:
             return AckReply(client_id, bool(a))
         if mtype == T_ERROR:
-            return ErrorReply(client_id, buf[off:].decode("utf-8"))
+            return ErrorReply(client_id, buf[off:].decode("utf-8"), code=a)
+        if mtype == T_PING:
+            return PingMsg(client_id, token=a)
+        if mtype == T_PONG:
+            return PongMsg(client_id, token=a)
+        if mtype == T_TRUNCATE_LOG:
+            return TruncateLogCall(client_id, low_water_lsn=a)
+        if mtype == T_TRUNCATE_REPLY:
+            return TruncateReply(client_id, low_water_lsn=a,
+                                 records_dropped=b)
+        if mtype == T_STATS_CALL:
+            return StatsCall(client_id)
+        if mtype == T_STATS_REPLY:
+            if (len(buf) - off) % 8:
+                raise WireCodecError("stats body not a multiple of 8")
+            return StatsReply(client_id, tuple(
+                v for (v,) in struct.iter_unpack("!Q", buf[off:])
+            ))
         if mtype == T_GENERATOR_READ_CALL:
             return GeneratorReadCall(client_id)
         if mtype == T_GENERATOR_READ_REPLY:

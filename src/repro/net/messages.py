@@ -220,15 +220,120 @@ class AckReply(Message):
     ok: bool = True
 
 
+#: ErrorReply codes — a closed registry so clients can react to the
+#: *class* of failure without parsing the human-readable reason.
+ERR_GENERIC = 0
+#: The server's durable storage failed (disk full, IO error); the
+#: daemon degrades to read-only instead of dropping the connection.
+ERR_STORAGE = 1
+#: The request violated the protocol (bad epoch, conflicting rewrite).
+ERR_PROTOCOL = 2
+
+
 @dataclass(slots=True)
 class ErrorReply(Message):
-    """Generic failure reply for synchronous calls."""
+    """Typed failure reply for synchronous calls.
+
+    ``code`` classifies the failure (``ERR_*``); ``reason`` is the
+    human-readable detail.  A storage failure (``ERR_STORAGE``) is a
+    per-server condition — the client routes around it exactly like a
+    crashed server, but the TCP connection stays up for reads.
+    """
 
     reason: str = ""
+    code: int = ERR_GENERIC
 
     @property
     def wire_size(self) -> int:
         return MESSAGE_HEADER_BYTES + len(self.reason.encode("utf-8"))
+
+
+# -- keep-alive probes (runtime hardening) ----------------------------------
+#
+# The paper's availability argument (Section 3.2) assumes a client can
+# cheaply abandon a misbehaving server for a spare.  A *hung* server —
+# stopped, swapped out, wedged behind a full disk queue — keeps its TCP
+# connection "established" indefinitely, so liveness needs an
+# application-level probe: the client pings an idle connection and
+# demotes the server after a couple of unanswered probes, far faster
+# than one full call timeout.
+
+
+@dataclass(slots=True)
+class PingMsg(Message):
+    """Client keep-alive probe; the server echoes ``token`` in a Pong."""
+
+    token: int = 0
+
+
+@dataclass(slots=True)
+class PongMsg(Message):
+    """Server reply to a Ping, echoing its ``token``."""
+
+    token: int = 0
+
+
+# -- Section 5.3: log space management ---------------------------------------
+
+
+@dataclass(slots=True)
+class TruncateLogCall(Message):
+    """Client-driven truncation: records below ``low_water_lsn`` are no
+    longer needed for this client's node or media recovery.
+
+    "Client recovery managers can use checkpoints and other mechanisms
+    to limit the online log storage required for node recovery"
+    (Section 5.3) — this call carries the resulting low-water mark to a
+    log server, which may drop every stored record of this client with
+    a lower LSN and compact its append stream.
+    """
+
+    low_water_lsn: LSN = 1
+
+
+@dataclass(slots=True)
+class TruncateReply(Message):
+    """Acknowledges a TruncateLog: the applied mark and records dropped."""
+
+    low_water_lsn: LSN = 1
+    records_dropped: int = 0
+
+
+# -- stats (the operator/metrics endpoint) -----------------------------------
+
+#: Counter names carried by :class:`StatsReply`, in wire order.  The
+#: tuple is part of the wire contract: both ends index into it.
+STATS_COUNTERS: tuple[str, ...] = (
+    "messages_handled",
+    "missing_intervals_sent",
+    "forces_acked",
+    "pings_answered",
+    "bytes_appended",
+    "log_bytes",
+    "store_records",
+    "truncations",
+    "truncated_lsn",       # this client's low-water mark (0 = never)
+    "storage_errors",
+)
+
+
+@dataclass(slots=True)
+class StatsCall(Message):
+    """Ask a daemon for its counters (``repro stats HOST:PORT``)."""
+
+
+@dataclass(slots=True)
+class StatsReply(Message):
+    """Daemon counters, one u64 per :data:`STATS_COUNTERS` entry."""
+
+    counters: tuple[int, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + 8 * len(self.counters)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(zip(STATS_COUNTERS, self.counters))
 
 
 # -- Appendix I: generator-state representative calls --------------------------

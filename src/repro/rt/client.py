@@ -31,6 +31,16 @@ from the replicated generator (majority read + majority write over the
 same connections), copies the last ``δ`` records under the new epoch,
 appends ``δ`` not-present guards, and installs atomically — the exact
 procedure of :mod:`repro.core.recovery`, spoken over the wire.
+
+Degraded servers (slow, hung, disk-full) are handled without blocking
+the batch path: every connection owns a bounded send queue drained by
+a writer task, consecutive queue-full flushes strike a slow server out
+of the write set (the same Section 5.4 switch a crash triggers),
+keep-alive pings demote a hung server in about two probe intervals and
+quarantine it against instant re-adoption, and
+:meth:`AsyncReplicatedLog.truncate` announces a Section 5.3 truncation
+point ("records below it will never be read again") to every server so
+they can reclaim log space.
 """
 
 from __future__ import annotations
@@ -68,8 +78,12 @@ from ..net.messages import (
     MissingIntervalMsg,
     NewHighLSNMsg,
     NewIntervalMsg,
+    PingMsg,
+    PongMsg,
     ReadLogForwardCall,
     ReadLogReply,
+    TruncateLogCall,
+    TruncateReply,
     WriteLogMsg,
 )
 from ..net.packet import PACKET_PAYLOAD_BYTES
@@ -85,6 +99,16 @@ class ServerConnection:
     the acknowledged LSN, MissingInterval goes to ``on_missing``, and
     everything else answers the oldest pending call (TCP preserves
     request order, and the daemon replies inline).
+
+    Outbound frames go through a **bounded send queue** drained by a
+    writer task, so a peer whose TCP buffer has filled blocks only its
+    own writer task — never the caller.  :meth:`try_send` reports a
+    full queue instead of waiting, which is the signal the client's
+    slow-server policy counts.  When ``keepalive_interval`` is set, a
+    probe task pings the server every interval; ``keepalive_misses``
+    consecutive silent intervals (no bytes received at all) abort the
+    connection and quarantine it briefly so a hung (e.g. SIGSTOP'd)
+    process is not immediately re-adopted by reconnect.
     """
 
     def __init__(
@@ -95,20 +119,42 @@ class ServerConnection:
         *,
         timeout: float = 5.0,
         on_missing: Callable[[str, MissingIntervalMsg], None] | None = None,
+        client_id: str = "-",
+        send_queue_limit: int = 64,
+        keepalive_interval: float = 0.0,
+        keepalive_misses: int = 2,
     ):
         self.server_id = server_id
         self.host = host
         self.port = port
         self.timeout = timeout
         self.on_missing = on_missing
+        self.client_id = client_id
+        self.send_queue_limit = send_queue_limit
+        self.keepalive_interval = keepalive_interval
+        self.keepalive_misses = keepalive_misses
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
+        self._writer_task: asyncio.Task | None = None
+        self._keepalive_task: asyncio.Task | None = None
+        self._sendq: asyncio.Queue[bytes] | None = None
         self._pending: list[asyncio.Future] = []
         self._force_waiters: list[tuple[LSN, asyncio.Future]] = []
+        self._last_rx: float = 0.0
         self.alive = False
+        #: monotonic deadline before which reconnects are refused; set
+        #: when keep-alive declares the peer hung.
+        self.quarantined_until: float = 0.0
+        self.queue_full_events = 0
+        self.pings_sent = 0
+        self.keepalive_aborts = 0
 
     async def connect(self) -> None:
+        loop = asyncio.get_running_loop()
+        if loop.time() < self.quarantined_until:
+            raise ServerUnavailable(self.server_id,
+                                    "quarantined after keep-alive failure")
         try:
             self._reader, self._writer = await asyncio.wait_for(
                 asyncio.open_connection(self.host, self.port), self.timeout
@@ -116,26 +162,97 @@ class ServerConnection:
         except (OSError, asyncio.TimeoutError) as exc:
             raise ServerUnavailable(self.server_id, str(exc)) from exc
         self.alive = True
+        self._last_rx = loop.time()
+        self._sendq = asyncio.Queue(maxsize=self.send_queue_limit)
         self._reader_task = asyncio.create_task(self._read_loop())
+        self._writer_task = asyncio.create_task(self._write_loop())
+        if self.keepalive_interval > 0:
+            self._keepalive_task = asyncio.create_task(self._keepalive_loop())
+
+    # -- background tasks ---------------------------------------------
 
     async def _read_loop(self) -> None:
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 msg = await read_message(self._reader)
                 if msg is None:
                     break
+                self._last_rx = loop.time()
                 if isinstance(msg, NewHighLSNMsg):
                     self._ack_forces(msg.new_high_lsn)
                 elif isinstance(msg, MissingIntervalMsg):
                     if self.on_missing is not None:
                         self.on_missing(self.server_id, msg)
+                elif isinstance(msg, PongMsg):
+                    pass  # receipt alone refreshed the liveness clock
                 else:
                     if self._pending:
                         self._pending.pop(0).set_result(msg)
+        except asyncio.CancelledError:
+            raise
         except Exception:
             pass
         finally:
-            self._fail_all("connection lost")
+            self._abort("connection lost")
+
+    async def _write_loop(self) -> None:
+        """Drain the send queue onto the socket, one frame at a time.
+
+        ``drain()`` may park here indefinitely when the peer stops
+        reading — that is the point: back-pressure stops at this task
+        and the bounded queue, and the keep-alive probe (or a call
+        timeout) decides when the connection is declared dead.
+        """
+        try:
+            while True:
+                buf = await self._sendq.get()
+                self._writer.write(buf)
+                await self._writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._abort(f"send failed: {exc}")
+
+    async def _keepalive_loop(self) -> None:
+        """Ping an idle connection; declare it hung after enough misses.
+
+        Any inbound traffic counts as life.  A hung server accepts the
+        ping into its socket buffer but never answers, so after
+        ``keepalive_misses`` silent probe intervals (~2 by default) the
+        connection is aborted and quarantined — failing every pending
+        future now rather than letting callers wait out full timeouts.
+        """
+        loop = asyncio.get_running_loop()
+        misses = 0
+        token = 0
+        last_probe = loop.time()
+        while True:
+            await asyncio.sleep(self.keepalive_interval)
+            if not self.alive:
+                return
+            # A miss is "nothing received since the previous probe" —
+            # not "idle longer than the interval", which would race
+            # against the pong arriving a hair after each probe.
+            if self._last_rx >= last_probe:
+                misses = 0
+            else:
+                misses += 1
+                if misses > self.keepalive_misses:
+                    self.keepalive_aborts += 1
+                    self._abort(
+                        "keep-alive: no response in "
+                        f"{misses} probe intervals",
+                        quarantine=self.keepalive_interval
+                        * (self.keepalive_misses + 1),
+                    )
+                    return
+            last_probe = loop.time()
+            token += 1
+            self.pings_sent += 1
+            self._enqueue_nowait(frame(PingMsg(self.client_id, token=token)))
+
+    # -- bookkeeping ---------------------------------------------------
 
     def _ack_forces(self, acked: LSN) -> None:
         remaining = []
@@ -147,8 +264,20 @@ class ServerConnection:
                 remaining.append((high, fut))
         self._force_waiters = remaining
 
-    def _fail_all(self, reason: str) -> None:
+    def _abort(self, reason: str, *, quarantine: float = 0.0) -> None:
+        """Declare the connection dead: fail futures, cancel tasks.
+
+        Safe to call from within any of the connection's own tasks (a
+        task never cancels itself) and idempotent.  This is the single
+        teardown path, so a timed-out call can no longer leave a reader
+        task running against a list of already-failed futures.
+        """
+        was_alive = self.alive
         self.alive = False
+        if quarantine > 0:
+            self.quarantined_until = (
+                asyncio.get_running_loop().time() + quarantine
+            )
         exc = ServerUnavailable(self.server_id, reason)
         for fut in self._pending:
             if not fut.done():
@@ -158,28 +287,60 @@ class ServerConnection:
                 fut.set_exception(exc)
         self._pending = []
         self._force_waiters = []
+        if not was_alive:
+            return
+        current = asyncio.current_task()
+        for task in (self._reader_task, self._writer_task,
+                     self._keepalive_task):
+            if task is not None and task is not current:
+                task.cancel()
+        if self._writer is not None:
+            self._writer.close()
 
-    def _require_alive(self) -> asyncio.StreamWriter:
-        if not self.alive or self._writer is None:
+    # -- sending -------------------------------------------------------
+
+    def _require_alive(self) -> None:
+        if not self.alive or self._sendq is None:
             raise ServerUnavailable(self.server_id, "not connected")
-        return self._writer
+
+    def _enqueue_nowait(self, buf: bytes) -> bool:
+        try:
+            self._sendq.put_nowait(buf)
+        except asyncio.QueueFull:
+            self.queue_full_events += 1
+            return False
+        return True
+
+    def try_send(self, msg: Message) -> bool:
+        """Enqueue an asynchronous message without ever waiting.
+
+        Returns ``False`` when the send queue is full — the slow-server
+        signal; raises :class:`ServerUnavailable` when the connection
+        is dead.  Used for WriteLog streaming, where skipping a batch
+        is safe because the next force re-sends the whole window.
+        """
+        self._require_alive()
+        return self._enqueue_nowait(frame(msg))
 
     async def send(self, msg: Message) -> None:
-        """Fire an asynchronous message (WriteLog, NewInterval)."""
-        writer = self._require_alive()
+        """Enqueue a message, waiting (bounded) for queue space."""
+        self._require_alive()
         try:
-            writer.write(frame(msg))
-            await asyncio.wait_for(writer.drain(), self.timeout)
-        except (OSError, asyncio.TimeoutError) as exc:
-            self._fail_all(str(exc))
-            raise ServerUnavailable(self.server_id, str(exc)) from exc
+            await asyncio.wait_for(self._sendq.put(frame(msg)),
+                                   self.timeout)
+        except asyncio.TimeoutError as exc:
+            self._abort("send queue stalled")
+            raise ServerUnavailable(self.server_id,
+                                    "send queue stalled") from exc
 
     async def call(self, msg: Message) -> Message:
         """Send a synchronous call; await its reply in order.
 
         An :class:`ErrorReply` surfaces as :class:`ServerUnavailable`
         — the per-server failure the core algorithm already knows how
-        to route around.
+        to route around.  A timeout tears the connection down (reply
+        matching is positional, so a late reply must never be allowed
+        to answer the wrong call).
         """
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending.append(fut)
@@ -187,7 +348,7 @@ class ServerConnection:
         try:
             reply = await asyncio.wait_for(fut, self.timeout)
         except asyncio.TimeoutError as exc:
-            self._fail_all("call timed out")
+            self._abort("call timed out")
             raise ServerUnavailable(self.server_id, "call timed out") from exc
         if isinstance(reply, ErrorReply):
             raise ServerUnavailable(self.server_id, reply.reason)
@@ -201,20 +362,21 @@ class ServerConnection:
         try:
             return await asyncio.wait_for(fut, self.timeout)
         except asyncio.TimeoutError as exc:
-            self._fail_all("force ack timed out")
+            self._abort("force ack timed out")
             raise ServerUnavailable(self.server_id,
                                     "force ack timed out") from exc
 
     async def close(self) -> None:
-        self.alive = False
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            try:
-                await self._reader_task
-            except (asyncio.CancelledError, Exception):
-                pass
+        self._abort("closed")
+        for task in (self._reader_task, self._writer_task,
+                     self._keepalive_task):
+            if task is not None:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._reader_task = self._writer_task = self._keepalive_task = None
         if self._writer is not None:
-            self._writer.close()
             try:
                 await self._writer.wait_closed()
             except (ConnectionError, OSError):
@@ -264,6 +426,10 @@ class AsyncReplicatedLog:
         rng: random.Random | None = None,
         timeout: float = 5.0,
         batch_bytes: int = PACKET_PAYLOAD_BYTES,
+        send_queue_limit: int = 64,
+        keepalive_interval: float = 0.5,
+        keepalive_misses: int = 2,
+        slow_strike_limit: int = 3,
     ):
         if len(servers) != config.total_servers:
             raise NotEnoughServers(
@@ -277,11 +443,20 @@ class AsyncReplicatedLog:
         self.rng = rng if rng is not None else random.Random(0)
         self.timeout = timeout
         self.batch_bytes = batch_bytes
+        #: consecutive queue-full strikes that demote a write-set
+        #: server (the Section 5.4 "switch servers when necessary").
+        self.slow_strike_limit = slow_strike_limit
         self._conns: dict[str, ServerConnection] = {
             sid: ServerConnection(sid, host, port, timeout=timeout,
-                                  on_missing=self._on_missing)
+                                  on_missing=self._on_missing,
+                                  client_id=client_id,
+                                  send_queue_limit=send_queue_limit,
+                                  keepalive_interval=keepalive_interval,
+                                  keepalive_misses=keepalive_misses)
             for sid, (host, port) in servers.items()
         }
+        self._strikes: dict[str, int] = {}
+        self._switch_lock = asyncio.Lock()
         self._merged: MergedIntervalMap | None = None
         self._epoch: Epoch = 0
         self._next_lsn: LSN = 1
@@ -298,6 +473,9 @@ class AsyncReplicatedLog:
         self.recoveries_performed = 0
         self.server_switches = 0
         self.missing_intervals_seen = 0
+        self.slow_strikes = 0
+        self.truncations_requested = 0
+        self.records_truncated = 0
 
     # -- connection management ----------------------------------------
 
@@ -316,14 +494,18 @@ class AsyncReplicatedLog:
 
         The gap means those records were written to other servers while
         this one was out of the write set; telling it to start a new
-        interval is the Figure 4-1 response.
+        interval is the Figure 4-1 response.  A full send queue drops
+        the answer — the server will simply NAK again.
         """
         self.missing_intervals_seen += 1
         conn = self._conns.get(server_id)
         if conn is not None and conn.alive and self._epoch:
-            asyncio.ensure_future(conn.send(NewIntervalMsg(
-                self.client_id, self._epoch, starting_lsn=msg.hi + 1
-            )))
+            try:
+                conn.try_send(NewIntervalMsg(
+                    self.client_id, self._epoch, starting_lsn=msg.hi + 1
+                ))
+            except ServerUnavailable:
+                pass
 
     # -- lifecycle ----------------------------------------------------
 
@@ -524,18 +706,40 @@ class AsyncReplicatedLog:
         return sum(RECORD_HEADER_BYTES + len(r.data) for r in records)
 
     async def _flush_writes(self) -> None:
-        """Stream the buffer as an unacknowledged WriteLog batch."""
+        """Stream the buffer as an unacknowledged WriteLog batch.
+
+        Sends never wait: :meth:`ServerConnection.try_send` either
+        queues the frame or reports the queue full.  A full queue is a
+        *strike* against that server — the batch is simply skipped
+        there (safe: the next force re-sends the whole window) — and
+        ``slow_strike_limit`` consecutive strikes demote the server
+        from the write set exactly as a crash would (Section 5.4).
+        """
         if not self._buffer:
             return
         batch = tuple(self._buffer)
         msg = WriteLogMsg(self.client_id, self._epoch, batch)
         for sid in list(self._write_set):
             try:
-                await self._conns[sid].send(msg)
+                sent = self._conns[sid].try_send(msg)
             except ServerUnavailable:
+                await self._replace_server(sid)
+                continue
+            if sent:
+                self._strikes[sid] = 0
+                continue
+            self.slow_strikes += 1
+            strikes = self._strikes.get(sid, 0) + 1
+            self._strikes[sid] = strikes
+            if strikes >= self.slow_strike_limit:
+                self._strikes[sid] = 0
                 await self._replace_server(sid)
         self._window.extend(batch)
         self._buffer = []
+        # One scheduling point per flush: without it, back-to-back
+        # writes starve the writer tasks and even healthy servers'
+        # queues would overflow.
+        await asyncio.sleep(0)
 
     async def force(self) -> LSN:
         """ForceLog: make every buffered record durable on N servers.
@@ -555,18 +759,26 @@ class AsyncReplicatedLog:
             records = (self._last_record,)
         msg = ForceLogMsg(self.client_id, self._epoch, records)
 
-        # _replace_server rewrites self._write_set in place and feeds
-        # the replacement the whole window, so a server lost mid-loop
-        # still leaves every record on N servers.  When no spare exists
-        # it raises NotEnoughServers, which the retry policy paces
-        # while outages heal.
+        # Forces go to every write-set server concurrently, so the ack
+        # wait is max(server latency), not the sum — a hung member
+        # cannot serialize the healthy ones behind it.  _replace_server
+        # rewrites self._write_set in place and feeds the replacement
+        # the whole window, so a server lost mid-force still leaves
+        # every record on N servers.  When no spare exists it raises
+        # NotEnoughServers, which the retry policy paces while outages
+        # heal.
         async def guarded() -> LSN:
-            for sid in list(self._write_set):
-                conn = self._conns[sid]
-                try:
-                    await conn.force(msg)
-                except ServerUnavailable:
-                    await self._replace_server(sid, records)
+            targets = list(self._write_set)
+            results = await asyncio.gather(
+                *(self._conns[sid].force(msg) for sid in targets),
+                return_exceptions=True,
+            )
+            for sid, result in zip(targets, results):
+                if isinstance(result, ServerUnavailable):
+                    if sid in self._write_set:
+                        await self._replace_server(sid, records)
+                elif isinstance(result, BaseException):
+                    raise result
             return msg.high_lsn
 
         high = await async_retry(guarded, self.retry_policy, self.rng,
@@ -591,35 +803,77 @@ class AsyncReplicatedLog:
 
         The spare is told where the fresh interval starts (NewInterval)
         and force-fed the unacknowledged window so every pending record
-        still reaches ``N`` servers.
+        still reaches ``N`` servers.  A lock serializes switches so the
+        concurrent per-server force paths cannot race two replacements
+        onto the same write-set slot.
         """
-        live = await self._ensure_connections()
-        spares = [sid for sid in sorted(live)
-                  if sid not in self._write_set]
-        pending = pending or tuple(self._window) + tuple(self._buffer)
+        async with self._switch_lock:
+            if dead_sid not in self._write_set:
+                return  # another path already replaced it
+            live = await self._ensure_connections()
+            spares = [sid for sid in sorted(live)
+                      if sid not in self._write_set]
+            pending = pending or tuple(self._window) + tuple(self._buffer)
+            merged = self._require_init()
+            for spare in spares:
+                conn = self._conns[spare]
+                try:
+                    if pending:
+                        await conn.send(NewIntervalMsg(
+                            self.client_id, self._epoch,
+                            starting_lsn=pending[0].lsn,
+                        ))
+                        await conn.force(ForceLogMsg(
+                            self.client_id, self._epoch, pending
+                        ))
+                except ServerUnavailable:
+                    continue
+                index = self._write_set.index(dead_sid)
+                self._write_set[index] = spare
+                self._strikes.pop(dead_sid, None)
+                for record in pending:
+                    merged.note(record.lsn, self._epoch, spare)
+                self.server_switches += 1
+                return
+            raise NotEnoughServers(
+                f"no spare server available to replace {dead_sid}"
+            )
+
+    # -- Section 5.3: log space management ----------------------------
+
+    async def truncate(self, low_water: LSN) -> int:
+        """Tell every reachable server to reclaim records below ``low_water``.
+
+        The paper's Section 5.3 contract: the client promises that
+        records below the truncation point "will never be read again",
+        and servers are free to recycle the space.  The low-water mark
+        is clamped to the unacknowledged window (truncating unacked
+        records would let an ack cover records no server retains).
+        Servers that are down simply miss this round; they reclaim at
+        the next one.  Returns the total records dropped across
+        servers.
+        """
         merged = self._require_init()
-        for spare in spares:
-            conn = self._conns[spare]
+        unacked = tuple(self._window) + tuple(self._buffer)
+        if unacked:
+            low_water = min(low_water, unacked[0].lsn)
+        dropped = 0
+        for sid in sorted(self._conns):
+            conn = self._conns[sid]
+            if not conn.alive:
+                continue
             try:
-                if pending:
-                    await conn.send(NewIntervalMsg(
-                        self.client_id, self._epoch,
-                        starting_lsn=pending[0].lsn,
-                    ))
-                    await conn.force(ForceLogMsg(
-                        self.client_id, self._epoch, pending
-                    ))
+                reply = await conn.call(
+                    TruncateLogCall(self.client_id, low_water_lsn=low_water)
+                )
             except ServerUnavailable:
                 continue
-            index = self._write_set.index(dead_sid)
-            self._write_set[index] = spare
-            for record in pending:
-                merged.note(record.lsn, self._epoch, spare)
-            self.server_switches += 1
-            return
-        raise NotEnoughServers(
-            f"no spare server available to replace {dead_sid}"
-        )
+            if isinstance(reply, TruncateReply):
+                dropped += reply.records_dropped
+        merged.prune_below(low_water)
+        self.truncations_requested += 1
+        self.records_truncated += dropped
+        return dropped
 
     # -- reads --------------------------------------------------------
 

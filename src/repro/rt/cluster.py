@@ -136,6 +136,24 @@ class LoopbackCluster:
             entry.process.wait()
         self._close_log(entry)
 
+    def suspend(self, server_id: str) -> None:
+        """SIGSTOP a daemon: the gray failure a crash detector misses.
+
+        The process keeps its sockets; the kernel keeps accepting TCP
+        payloads into its receive buffer, so connects and small sends
+        still *succeed* — only replies stop coming.  Exactly the hang
+        the client's keep-alive probes exist to catch.
+        """
+        entry = self.servers[server_id]
+        if entry.process is not None and entry.process.poll() is None:
+            entry.process.send_signal(signal.SIGSTOP)
+
+    def resume(self, server_id: str) -> None:
+        """SIGCONT a suspended daemon; it resumes where it stopped."""
+        entry = self.servers[server_id]
+        if entry.process is not None and entry.process.poll() is None:
+            entry.process.send_signal(signal.SIGCONT)
+
     def restart(self, server_id: str) -> ServerProcess:
         """Bring a killed daemon back on a fresh ephemeral port."""
         self.kill(server_id)
@@ -144,6 +162,8 @@ class LoopbackCluster:
     def stop(self) -> None:
         for entry in self.servers.values():
             if entry.process is not None and entry.process.poll() is None:
+                # a SIGSTOP'd child cannot act on SIGTERM; wake it first
+                entry.process.send_signal(signal.SIGCONT)
                 entry.process.terminate()
         for entry in self.servers.values():
             if entry.process is not None:

@@ -11,6 +11,16 @@ semantics (write-order rules, duplicate tolerance, staged CopyLog /
 atomic InstallCopies, interval lists) are implemented exactly once; the
 file layer adds only durability.
 
+Section 5.3 log space management: :meth:`FileLogStore.truncate_below`
+records a per-client truncation point, drops the reclaimed prefix from
+the in-memory store, and compacts ``log.dat`` by rewriting it from the
+live state (tmp file + atomic rename + directory fsync) — a restart
+then replays only the retained suffix.  A size watermark
+(``compact_watermark_bytes``) triggers the same compaction
+automatically so a client that never truncates still gets a bounded
+log.  An IO error (disk full) wedges the store read-only: appends
+raise :class:`~repro.core.errors.StorageError`, reads keep working.
+
 Append stream
 -------------
 
@@ -58,6 +68,7 @@ import struct
 import zlib
 from pathlib import Path
 
+from ..core.errors import StorageError
 from ..core.intervals import ServerIntervals
 from ..core.records import Epoch, LSN, StoredRecord
 from ..core.store import LogServerStore
@@ -73,11 +84,17 @@ ENTRY_MAGIC = 0x4C45
 _ENTRY = struct.Struct("!HB16s")
 _INSTALL = struct.Struct("!II")
 _GENERATOR = struct.Struct("!QI")
+_TRUNCATE = struct.Struct("!II")
 
 E_RECORD = 1
 E_STAGED = 2
 E_INSTALL = 3
 E_GENERATOR = 4
+#: Section 5.3 low-water mark: every record of the entry's client with
+#: a lower LSN has been reclaimed.  Compaction writes one at the head
+#: of the rewritten stream so a replay after restart re-arms the
+#: late-retransmission guard.
+E_TRUNCATE = 5
 
 PAGE_MAGIC = 0x4C46
 _PAGE = struct.Struct("!HHI")  # magic, payload length, CRC-32(payload)
@@ -193,16 +210,33 @@ class FileLogStore:
     durable prefix by scan.
     """
 
-    def __init__(self, data_dir: str | Path, server_id: str):
+    def __init__(self, data_dir: str | Path, server_id: str, *,
+                 compact_watermark_bytes: int | None = None):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.server_id = server_id
         self.mem = LogServerStore(server_id)
         self.generator_value = 0
+        #: size watermark fallback (Section 5.3): when ``log.dat``
+        #: exceeds this many bytes, the stream is compacted against the
+        #: clients' declared low-water marks without waiting for the
+        #: next TruncateLog.  ``None`` disables the fallback.
+        self.compact_watermark_bytes = compact_watermark_bytes
         self._forests: dict[str, AppendForest] = {}
         self._log_path = self.data_dir / "log.dat"
         self.recovered_entries = 0
         self.truncated_bytes = 0
+        # Counters for the Stats wire message.
+        self.bytes_appended = 0
+        self.truncations = 0
+        self.compactions = 0
+        self.reclaimed_bytes = 0
+        self.storage_errors = 0
+        #: first storage failure observed; non-None wedges all appends
+        #: (the daemon degrades to read-only rather than lying about
+        #: durability).
+        self.io_error: str | None = None
+        self._last_compact_size = 0
         self._size = self._recover()
         self._file = open(self._log_path, "ab")
 
@@ -229,6 +263,12 @@ class FileLogStore:
                                   payload.present, payload.data, payload.kind)
             elif etype == E_INSTALL:
                 self.mem.install_copies(client_id, payload)
+            elif etype == E_TRUNCATE:
+                self.mem.truncate_below(client_id, payload)
+                pairs = steady.get(client_id)
+                if pairs:
+                    steady[client_id] = [(lsn, off) for lsn, off in pairs
+                                         if lsn >= payload]
             else:  # E_GENERATOR
                 self.generator_value = max(self.generator_value, payload)
             self.recovered_entries += 1
@@ -270,13 +310,13 @@ class FileLogStore:
             except WireCodecError:
                 return None
             return etype, client_id, record, end
-        if etype == E_INSTALL:
+        if etype in (E_INSTALL, E_TRUNCATE):
             if body + _INSTALL.size > len(raw):
                 return None
-            epoch, crc = _INSTALL.unpack_from(raw, body)
+            value, crc = _INSTALL.unpack_from(raw, body)
             if zlib.crc32(raw[body:body + 4]) != crc:
                 return None
-            return etype, client_id, epoch, body + _INSTALL.size
+            return etype, client_id, value, body + _INSTALL.size
         if etype == E_GENERATOR:
             if body + _GENERATOR.size > len(raw):
                 return None
@@ -288,18 +328,38 @@ class FileLogStore:
 
     # -- the durable append path --------------------------------------
 
+    def _wedge(self, exc: OSError) -> StorageError:
+        """Record the first storage failure; wedge all later appends."""
+        self.storage_errors += 1
+        if self.io_error is None:
+            self.io_error = str(exc) or type(exc).__name__
+        return StorageError(
+            f"storage failed on {self.server_id}: {self.io_error}"
+        )
+
+    def _check_writable(self) -> None:
+        if self.io_error is not None:
+            raise StorageError(
+                f"storage failed on {self.server_id}: {self.io_error}"
+            )
+
     def _append_entry(self, etype: int, client_id: str, payload: bytes,
                       fsync: bool) -> int:
         cid_raw = client_id.encode("utf-8")
         if len(cid_raw) > 16:
             raise FileStoreError(f"client id {client_id!r} exceeds 16 bytes")
+        self._check_writable()
         offset = self._size
         buf = _ENTRY.pack(ENTRY_MAGIC, etype, cid_raw) + payload
-        self._file.write(buf)
+        try:
+            self._file.write(buf)
+            if fsync:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise self._wedge(exc) from exc
         self._size += len(buf)
-        if fsync:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+        self.bytes_appended += len(buf)
         return offset
 
     def append_record(self, client_id: str, record: StoredRecord, *,
@@ -325,7 +385,13 @@ class FileLogStore:
         )
         forest = self._forest(client_id)
         if record.lsn > (forest.high_key or 0):
-            forest.append_key(record.lsn, offset)
+            try:
+                forest.append_key(record.lsn, offset)
+            except OSError as exc:
+                # The index is advisory (rebuilt from the log on
+                # recovery), but a failing disk should wedge appends
+                # all the same.
+                raise self._wedge(exc) from exc
 
     def append_records(self, client_id: str,
                        records: tuple[StoredRecord, ...], *,
@@ -340,11 +406,16 @@ class FileLogStore:
             self.append_record(client_id, record, fsync=False)
         if fsync:
             self.sync()
+        self._maybe_compact()
 
     def sync(self) -> None:
         """Make everything appended so far durable (flush + fsync)."""
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self._check_writable()
+        try:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise self._wedge(exc) from exc
 
     def stage_copy(self, client_id: str, record: StoredRecord) -> None:
         """CopyLog: durably stage a rewrite (installed atomically later)."""
@@ -372,6 +443,142 @@ class FileLogStore:
             )
             self.generator_value = value
 
+    # -- Section 5.3: log space management ------------------------------
+
+    def truncate_below(self, client_id: str, low_water: LSN) -> int:
+        """TruncateLog: reclaim a client's records below ``low_water``.
+
+        Drops them from the replayed in-memory store (bounding daemon
+        RSS) and compacts the append stream so the on-disk log shrinks
+        too.  Returns the number of records dropped.  The mark is
+        durable: either the compacted stream simply no longer contains
+        the records, or — when nothing was stored below the mark — an
+        ``E_TRUNCATE`` entry re-arms the late-retransmission guard on
+        replay.
+        """
+        self._check_writable()
+        dropped = self.mem.truncate_below(client_id, low_water)
+        self.truncations += 1
+        if dropped:
+            self._compact()
+        else:
+            mark = self.mem.client_state(client_id).truncated_below
+            if mark:
+                mark_bytes = struct.pack("!I", mark)
+                self._append_entry(
+                    E_TRUNCATE, client_id,
+                    _TRUNCATE.pack(mark, zlib.crc32(mark_bytes)), fsync=True,
+                )
+        return dropped
+
+    def truncated_lsn(self, client_id: str) -> LSN:
+        """The client's applied low-water mark (0 = never truncated)."""
+        return self.mem.client_state(client_id).truncated_below
+
+    def _maybe_compact(self) -> None:
+        """The size-watermark fallback: compact when the log outgrows
+        ``compact_watermark_bytes``, using whatever low-water marks the
+        clients have already declared.
+
+        A compaction that reclaims little would immediately re-trigger,
+        so another pass is deferred until the file doubles past the
+        last compacted size.
+        """
+        wm = self.compact_watermark_bytes
+        if wm is None or self._size < wm or self.io_error is not None:
+            return
+        if self._size < 2 * self._last_compact_size:
+            return
+        self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite ``log.dat`` as a checkpoint of the in-memory state.
+
+        The compacted stream carries, per client: the truncation mark,
+        every retained record in write order (a subsequence of a
+        legally ordered stream is legally ordered), and any staged-but-
+        uninstalled CopyLog records; plus the generator value.  Install
+        markers are not rewritten — installed copies are already
+        materialized as records.  Replaying the compacted stream
+        reconstructs the exact same in-memory state.
+
+        The rewrite goes to ``log.dat.tmp`` (fsync'd), then atomically
+        replaces ``log.dat``; the append-forest index files are rebuilt
+        against the new byte offsets.
+        """
+        self._check_writable()
+        tmp_path = Path(str(self._log_path) + ".tmp")
+        steady: dict[str, list[tuple[LSN, int]]] = {}
+        size = 0
+        try:
+            with open(tmp_path, "wb") as out:
+                def emit(etype: int, cid: str, payload: bytes) -> int:
+                    nonlocal size
+                    offset = size
+                    buf = _ENTRY.pack(ENTRY_MAGIC, etype,
+                                      cid.encode("utf-8")) + payload
+                    out.write(buf)
+                    size += len(buf)
+                    return offset
+
+                for client_id in self.mem.known_clients():
+                    state = self.mem.client_state(client_id)
+                    if state.truncated_below:
+                        mark = state.truncated_below
+                        mark_bytes = struct.pack("!I", mark)
+                        emit(E_TRUNCATE, client_id,
+                             _TRUNCATE.pack(mark, zlib.crc32(mark_bytes)))
+                    for record in state.records:
+                        offset = emit(E_RECORD, client_id,
+                                      encode_stored_record(record))
+                        steady.setdefault(client_id, []).append(
+                            (record.lsn, offset)
+                        )
+                    for epoch in sorted(state.staged):
+                        for record in state.staged[epoch]:
+                            emit(E_STAGED, client_id,
+                                 encode_stored_record(record))
+                if self.generator_value:
+                    value_bytes = struct.pack("!Q", self.generator_value)
+                    emit(E_GENERATOR, "",
+                         _GENERATOR.pack(self.generator_value,
+                                         zlib.crc32(value_bytes)))
+                out.flush()
+                os.fsync(out.fileno())
+            old_size = self._size
+            self._file.close()
+            os.replace(tmp_path, self._log_path)
+            self._file = open(self._log_path, "ab")
+            dir_fd = os.open(self.data_dir, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError as exc:
+            raise self._wedge(exc) from exc
+        self._size = size
+        self._last_compact_size = size
+        self.compactions += 1
+        self.reclaimed_bytes += max(0, old_size - size)
+        self._rebuild_forests(steady)
+
+    def _rebuild_forests(
+        self, steady: dict[str, list[tuple[LSN, int]]]
+    ) -> None:
+        """Recreate every forest index against post-compaction offsets."""
+        for forest in self._forests.values():
+            forest.store.close()
+        self._forests = {}
+        for path in self.data_dir.glob("forest-*.idx"):
+            path.unlink()
+        for client_id, pairs in steady.items():
+            forest = self._forest(client_id)
+            high = 0
+            for lsn, offset in pairs:
+                if lsn > high:
+                    forest.append_key(lsn, offset)
+                    high = lsn
+
     # -- reads --------------------------------------------------------
 
     def interval_list(self, client_id: str) -> ServerIntervals:
@@ -386,6 +593,15 @@ class FileLogStore:
 
     def client_high_lsn(self, client_id: str) -> LSN | None:
         return self.mem.client_state(client_id).high_lsn
+
+    @property
+    def log_size_bytes(self) -> int:
+        """Current size of ``log.dat`` in bytes."""
+        return self._size
+
+    def record_count(self) -> int:
+        """Records held in the replayed in-memory store (RSS proxy)."""
+        return self.mem.record_count()
 
     def read_via_index(self, client_id: str, lsn: LSN) -> StoredRecord | None:
         """Point read through the durable path alone: forest → file.

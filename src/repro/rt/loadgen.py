@@ -7,6 +7,12 @@ reports throughput plus ForceLog latency percentiles.  The same
 numbers the simulator's capacity experiments estimate, measured on
 real sockets and real fsyncs (see EXPERIMENTS.md E12 for why loopback
 figures are not the paper's 10 Mbit/s LAN figures).
+
+:func:`run_multi_loadgen` runs ``K`` independent closed-loop clients
+concurrently on one event loop (``repro loadgen --clients K``) and
+aggregates their reports; ``truncate_every`` issues a Section 5.3
+TruncateLog round every N transactions, keeping each server's log
+bounded during long runs.
 """
 
 from __future__ import annotations
@@ -42,6 +48,9 @@ class LoadReport:
     server_switches: int = 0
     final_epoch: int = 0
     final_high_lsn: int = 0
+    client_id: str = ""
+    truncations: int = 0
+    records_truncated: int = 0
 
     @property
     def records_per_sec(self) -> float:
@@ -72,6 +81,8 @@ class LoadReport:
             "server_switches": self.server_switches,
             "final_epoch": self.final_epoch,
             "final_high_lsn": self.final_high_lsn,
+            "truncations": self.truncations,
+            "records_truncated": self.records_truncated,
         }
 
 
@@ -84,19 +95,24 @@ async def run_loadgen(
     max_txns: int | None = None,
     params: Et1Params | None = None,
     log: AsyncReplicatedLog | None = None,
+    truncate_every: int = 0,
 ) -> LoadReport:
     """Closed-loop ET1 transactions until ``duration_s`` elapses.
 
     ``max_txns`` caps the run for tests; a pre-initialized ``log`` may
     be supplied (and is then left open for further use), otherwise one
-    is created, initialized, and closed here.
+    is created, initialized, and closed here.  ``truncate_every`` > 0
+    issues a Section 5.3 TruncateLog round every that many committed
+    transactions, keeping the low-water mark ``δ`` records behind the
+    durable high so the working set — client map, server memory, and
+    on-disk log — stays bounded for arbitrarily long runs.
     """
     params = params if params is not None else Et1Params()
     own_log = log is None
     if log is None:
         log = AsyncReplicatedLog(client_id, servers, config)
         await log.initialize()
-    report = LoadReport()
+    report = LoadReport(client_id=log.client_id)
     start = time.monotonic()
     seq = 0
     try:
@@ -116,6 +132,11 @@ async def run_loadgen(
                     report.force_latencies_s.append(time.monotonic() - t0)
             report.transactions += 1
             seq += 1
+            if truncate_every and report.transactions % truncate_every == 0:
+                low_water = log.end_of_log() - config.delta
+                if low_water > 1:
+                    report.records_truncated += await log.truncate(low_water)
+                    report.truncations += 1
         report.duration_s = time.monotonic() - start
         report.server_switches = log.server_switches
         report.final_epoch = log.current_epoch
@@ -126,6 +147,73 @@ async def run_loadgen(
     return report
 
 
+@dataclass
+class MultiLoadReport:
+    """Aggregate view over ``K`` concurrent closed-loop clients."""
+
+    per_client: list[LoadReport] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def transactions(self) -> int:
+        return sum(r.transactions for r in self.per_client)
+
+    @property
+    def records_written(self) -> int:
+        return sum(r.records_written for r in self.per_client)
+
+    @property
+    def txns_per_sec(self) -> float:
+        return self.transactions / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def force_p99_ms(self) -> float:
+        merged = sorted(
+            lat for r in self.per_client for lat in r.force_latencies_s
+        )
+        return 1e3 * percentile(merged, 0.99)
+
+    def as_dict(self) -> dict:
+        return {
+            "clients": len(self.per_client),
+            "duration_s": round(self.duration_s, 6),
+            "transactions": self.transactions,
+            "records_written": self.records_written,
+            "txns_per_sec": round(self.txns_per_sec, 3),
+            "force_p99_ms": round(self.force_p99_ms, 3),
+            "per_client": [r.as_dict() | {"client_id": r.client_id}
+                           for r in self.per_client],
+        }
+
+
+async def run_multi_loadgen(
+    servers: Mapping[str, tuple[str, int]],
+    config: ReplicationConfig,
+    *,
+    clients: int = 2,
+    client_id: str = "lg",
+    **kwargs,
+) -> MultiLoadReport:
+    """``clients`` concurrent closed-loop ET1 clients on one event loop.
+
+    Each client is its own :class:`AsyncReplicatedLog` (the paper's
+    log is single-client by design — scaling comes from running many
+    logs against the shared servers, Section 2's "few hundred clients"
+    regime).  Per-client ids are ``<client_id>-<i>``; the aggregate
+    report sums them.
+    """
+    report = MultiLoadReport()
+    start = time.monotonic()
+    results = await asyncio.gather(*(
+        run_loadgen(servers, config,
+                    client_id=f"{client_id}-{i + 1}", **kwargs)
+        for i in range(clients)
+    ))
+    report.per_client = list(results)
+    report.duration_s = time.monotonic() - start
+    return report
+
+
 def run_loadgen_sync(
     servers: Mapping[str, tuple[str, int]],
     config: ReplicationConfig,
@@ -133,3 +221,12 @@ def run_loadgen_sync(
 ) -> LoadReport:
     """Blocking wrapper for the CLI and benchmarks."""
     return asyncio.run(run_loadgen(servers, config, **kwargs))
+
+
+def run_multi_loadgen_sync(
+    servers: Mapping[str, tuple[str, int]],
+    config: ReplicationConfig,
+    **kwargs,
+) -> MultiLoadReport:
+    """Blocking wrapper for ``repro loadgen --clients K``."""
+    return asyncio.run(run_multi_loadgen(servers, config, **kwargs))

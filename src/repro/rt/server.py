@@ -12,7 +12,14 @@ protocol of Section 4.2 (Figure 4-1) over TCP:
   acknowledged with NewHighLSN only once durable;
 * **synchronous calls** IntervalList, ReadLogForward, ReadLogBackward
   (each reply packs as many records as fit in one LAN packet budget),
-  CopyLog, InstallCopies, and the Appendix I generator Read/Write.
+  CopyLog, InstallCopies, and the Appendix I generator Read/Write;
+* **operational messages**: Ping/Pong keep-alive probes, the Section
+  5.3 TruncateLog call ("records below the truncation point will never
+  be read again" — the store compacts and forgets them), and a Stats
+  query exposing daemon and store counters (``repro stats``).  A
+  storage failure (disk full, IO error) answers with a typed
+  ErrorReply instead of dropping the connection, leaving the daemon
+  readable while wedged.
 
 One daemon serves many clients over many connections; per-client gap
 tracking is daemon-wide, seeded from the durable high-water mark after
@@ -28,11 +35,15 @@ import asyncio
 import logging
 from bisect import bisect_left, bisect_right
 
-from ..core.errors import LogError, RecordNotStored
+from ..core.errors import LogError, ProtocolError, RecordNotStored, StorageError
 from ..core.records import LSN, StoredRecord
 from ..net.codec import frame, read_message
 from ..net.messages import (
+    ERR_GENERIC,
+    ERR_PROTOCOL,
+    ERR_STORAGE,
     RECORD_HEADER_BYTES,
+    STATS_COUNTERS,
     AckReply,
     CopyLogCall,
     ErrorReply,
@@ -47,9 +58,15 @@ from ..net.messages import (
     MissingIntervalMsg,
     NewHighLSNMsg,
     NewIntervalMsg,
+    PingMsg,
+    PongMsg,
     ReadLogBackwardCall,
     ReadLogForwardCall,
     ReadLogReply,
+    StatsCall,
+    StatsReply,
+    TruncateLogCall,
+    TruncateReply,
     WriteLogMsg,
 )
 from ..net.packet import PACKET_PAYLOAD_BYTES
@@ -79,6 +96,8 @@ class LogServerDaemon:
         self._expected: dict[str, LSN] = {}
         self.messages_handled = 0
         self.missing_intervals_sent = 0
+        self.forces_acked = 0
+        self.pings_answered = 0
 
     # -- lifecycle ----------------------------------------------------
 
@@ -155,14 +174,23 @@ class LogServerDaemon:
         if isinstance(msg, GeneratorWriteCall):
             self.store.generator_write(msg.value)
             return [AckReply(msg.client_id, ok=True)]
+        if isinstance(msg, PingMsg):
+            self.pings_answered += 1
+            return [PongMsg(msg.client_id, token=msg.token)]
+        if isinstance(msg, TruncateLogCall):
+            return self._guarded(msg, self._on_truncate)
+        if isinstance(msg, StatsCall):
+            return [self._on_stats(msg)]
         return [ErrorReply(msg.client_id,
-                           f"unhandled message {type(msg).__name__}")]
+                           f"unhandled message {type(msg).__name__}",
+                           code=ERR_PROTOCOL)]
 
     def _guarded(self, msg: Message, handler) -> list[Message]:
         try:
             return handler(msg)
         except LogError as exc:
-            return [ErrorReply(msg.client_id, str(exc))]
+            return [ErrorReply(msg.client_id, str(exc),
+                               code=_error_code(exc))]
 
     def _on_write(self, msg: WriteLogMsg, *, force: bool) -> list[Message]:
         client_id = msg.client_id
@@ -178,11 +206,13 @@ class LogServerDaemon:
         try:
             self.store.append_records(client_id, msg.records, fsync=force)
         except LogError as exc:
-            out.append(ErrorReply(client_id, str(exc)))
+            out.append(ErrorReply(client_id, str(exc),
+                                  code=_error_code(exc)))
             return out
         self._expected[client_id] = msg.high_lsn + 1
         if force:
             out.append(NewHighLSNMsg(client_id, new_high_lsn=msg.high_lsn))
+            self.forces_acked += 1
         return out
 
     def _on_read(self, client_id: str, lsn: LSN, *, forward: bool) -> Message:
@@ -226,6 +256,52 @@ class LogServerDaemon:
         self.store.install_copies(msg.client_id, msg.epoch)
         return [AckReply(msg.client_id, ok=True)]
 
+    # -- Section 5.3: log space management -----------------------------
+
+    def _on_truncate(self, msg: TruncateLogCall) -> list[Message]:
+        """Reclaim everything below the client's low-water LSN.
+
+        The paper's Section 5.3 lets a client tell its servers that log
+        records below a truncation point "will never be read again";
+        the store drops them from memory, compacts the on-disk log, and
+        remembers the mark so a post-restart replay (or a late
+        retransmission) cannot resurrect reclaimed records.
+        """
+        dropped = self.store.truncate_below(msg.client_id,
+                                            msg.low_water_lsn)
+        expected = self._expected.get(msg.client_id)
+        if expected is not None and expected < msg.low_water_lsn:
+            # Gap tracking must never NAK for reclaimed LSNs.
+            self._expected[msg.client_id] = msg.low_water_lsn
+        return [TruncateReply(msg.client_id,
+                              low_water_lsn=msg.low_water_lsn,
+                              records_dropped=dropped)]
+
+    def _on_stats(self, msg: StatsCall) -> Message:
+        store = self.store
+        values = {
+            "messages_handled": self.messages_handled,
+            "missing_intervals_sent": self.missing_intervals_sent,
+            "forces_acked": self.forces_acked,
+            "pings_answered": self.pings_answered,
+            "bytes_appended": store.bytes_appended,
+            "log_bytes": store.log_size_bytes,
+            "store_records": store.record_count(),
+            "truncations": store.truncations,
+            "truncated_lsn": store.truncated_lsn(msg.client_id),
+            "storage_errors": store.storage_errors,
+        }
+        counters = tuple(values[name] for name in STATS_COUNTERS)
+        return StatsReply(msg.client_id, counters)
+
+
+def _error_code(exc: LogError) -> int:
+    if isinstance(exc, StorageError):
+        return ERR_STORAGE
+    if isinstance(exc, ProtocolError):
+        return ERR_PROTOCOL
+    return ERR_GENERIC
+
 
 async def run_server(
     data_dir: str,
@@ -235,6 +311,7 @@ async def run_server(
     *,
     announce=print,
     ready: "asyncio.Event | None" = None,
+    compact_watermark_bytes: int | None = None,
 ) -> None:
     """Run one daemon until cancelled (the ``repro serve`` entry point).
 
@@ -242,7 +319,8 @@ async def run_server(
     a parent process (:mod:`repro.rt.cluster`) can harvest the
     ephemeral port.
     """
-    store = FileLogStore(data_dir, server_id)
+    store = FileLogStore(data_dir, server_id,
+                         compact_watermark_bytes=compact_watermark_bytes)
     daemon = LogServerDaemon(store, host, port)
     await daemon.start()
     announce(f"REPRO-SERVE {server_id} {daemon.host} {daemon.port}",

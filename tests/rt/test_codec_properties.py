@@ -46,9 +46,16 @@ from repro.net.messages import (
     MissingIntervalMsg,
     NewHighLSNMsg,
     NewIntervalMsg,
+    PingMsg,
+    PongMsg,
     ReadLogBackwardCall,
     ReadLogForwardCall,
     ReadLogReply,
+    STATS_COUNTERS,
+    StatsCall,
+    StatsReply,
+    TruncateLogCall,
+    TruncateReply,
     WriteLogMsg,
 )
 
@@ -95,7 +102,22 @@ def interval_tuples(draw):
 @st.composite
 def messages(draw):
     cid = draw(client_ids)
-    which = draw(st.integers(min_value=0, max_value=13))
+    which = draw(st.integers(min_value=0, max_value=19))
+    if which == 14:
+        return PingMsg(cid, token=draw(st.integers(0, 2**32 - 1)))
+    if which == 15:
+        return PongMsg(cid, token=draw(st.integers(0, 2**32 - 1)))
+    if which == 16:
+        return TruncateLogCall(cid, low_water_lsn=draw(lsns))
+    if which == 17:
+        return TruncateReply(cid, low_water_lsn=draw(lsns),
+                             records_dropped=draw(st.integers(0, 2**32 - 1)))
+    if which == 18:
+        return StatsCall(cid)
+    if which == 19:
+        counters = draw(st.lists(st.integers(0, 2**64 - 1),
+                                 min_size=0, max_size=len(STATS_COUNTERS)))
+        return StatsReply(cid, tuple(counters))
     if which == 0:
         ep, recs = draw(record_batches())
         return WriteLogMsg(cid, ep, recs)
@@ -244,3 +266,20 @@ def test_error_reply_wire_size_counts_reason_bytes():
     msg = ErrorReply("c", "déjà vu")
     assert msg.wire_size == MESSAGE_HEADER_BYTES + len("déjà vu".encode())
     assert len(encode(msg)) == msg.wire_size
+
+
+def test_error_reply_code_round_trips():
+    from repro.net.messages import ERR_STORAGE
+
+    msg = ErrorReply("c", "disk full", code=ERR_STORAGE)
+    decoded = decode(encode(msg))
+    assert decoded == msg
+    assert decoded.code == ERR_STORAGE
+
+
+def test_stats_reply_names_match_wire_order():
+    counters = tuple(range(len(STATS_COUNTERS)))
+    msg = StatsReply("c", counters)
+    decoded = decode(encode(msg))
+    assert decoded.as_dict() == dict(zip(STATS_COUNTERS, counters))
+    assert msg.wire_size == MESSAGE_HEADER_BYTES + 8 * len(counters)

@@ -1,0 +1,171 @@
+"""Process-level gray failures: SIGSTOP, truncation across restart.
+
+``test_cluster_failover.py`` covers clean crashes (SIGKILL).  Here a
+server *process* is SIGSTOP'd mid-run — it keeps its sockets, the
+kernel keeps ACKing bytes into its buffers, and nothing errors — and
+the client must still finish its run on the spare, losing nothing it
+acknowledged, with no batch stalled longer than the keep-alive budget.
+Also covers Section 5.3 across a real daemon restart, and the
+``repro stats`` CLI as a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import ReplicationConfig
+from repro.rt.client import AsyncReplicatedLog
+from repro.rt.cluster import LoopbackCluster
+from repro.workload.et1 import Et1Params, et1_log_pattern
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+CONFIG = ReplicationConfig(total_servers=3, copies=2, delta=8)
+
+KEEPALIVE = 0.3
+MISSES = 2
+TIMEOUT = 4.0
+# Detection budget: misses + 1 silent probe intervals, one interval of
+# observation slack, plus the replacement round trip.
+DETECT_BUDGET_S = KEEPALIVE * (MISSES + 2) + 1.5
+
+
+def test_sigstop_mid_run_completes_with_zero_lost_acks(tmp_path):
+    async def main(cluster):
+        written: dict[int, bytes] = {}
+        acked_high = 0
+        force_latencies: list[float] = []
+        log = AsyncReplicatedLog(
+            "c1", cluster.addresses(), CONFIG, timeout=TIMEOUT,
+            keepalive_interval=KEEPALIVE, keepalive_misses=MISSES,
+        )
+        await log.initialize()
+
+        async def run_txns(start_seq, count):
+            nonlocal acked_high
+            for seq in range(start_seq, start_seq + count):
+                for data, kind, forced in et1_log_pattern(Et1Params(), seq):
+                    lsn = await log.write(data, kind=kind)
+                    written[lsn] = data
+                    if forced:
+                        t0 = time.monotonic()
+                        acked_high = await log.force()
+                        force_latencies.append(time.monotonic() - t0)
+
+        await run_txns(0, 5)
+        victim = log.write_set[0]
+        cluster.suspend(victim)  # gray failure: hung, not dead
+
+        post_stall = len(force_latencies)
+        await run_txns(5, 15)
+        assert victim not in log.write_set
+        assert log.server_switches >= 1
+
+        # No batch waited longer than the keep-alive detection budget
+        # (in particular: nobody burned the full 4 s call timeout).
+        worst = max(force_latencies[post_stall:])
+        assert worst < DETECT_BUDGET_S, \
+            f"a force stalled {worst:.2f}s, budget {DETECT_BUDGET_S:.2f}s"
+
+        # Zero lost acknowledged records: every LSN up to the last
+        # acked force reads back with its exact bytes, with the victim
+        # still frozen.
+        for lsn, data in sorted(written.items()):
+            if lsn <= acked_high:
+                assert (await log.read(lsn)).data == data
+        await log.close()
+        return victim
+
+    with LoopbackCluster(tmp_path, num_servers=3) as cluster:
+        victim = asyncio.run(main(cluster))
+        cluster.resume(victim)  # let stop() terminate it cleanly
+
+
+def test_truncate_survives_daemon_restart(tmp_path):
+    async def write_and_truncate(cluster):
+        log = AsyncReplicatedLog("c1", cluster.addresses(), CONFIG,
+                                 keepalive_interval=0.0)
+        await log.initialize()
+        lsns = [await log.write(f"rec{i}".encode()) for i in range(40)]
+        await log.force()
+        low_water = lsns[-1] - CONFIG.delta
+        dropped = await log.truncate(low_water)
+        assert dropped > 0
+        await log.close()
+        return lsns, low_water
+
+    async def read_back(cluster, lsns):
+        log = AsyncReplicatedLog("c1", cluster.addresses(), CONFIG,
+                                 keepalive_interval=0.0)
+        await log.initialize()
+        rec = await log.read(lsns[-1])
+        assert rec.data == b"rec39"
+        lsn = await log.write(b"post-restart")
+        await log.force()
+        assert (await log.read(lsn)).data == b"post-restart"
+        await log.close()
+
+    with LoopbackCluster(tmp_path, num_servers=3) as cluster:
+        lsns, low_water = asyncio.run(write_and_truncate(cluster))
+
+        sizes_before = {}
+        for sid in cluster.servers:
+            path = os.path.join(tmp_path, sid, "log.dat")
+            sizes_before[sid] = os.path.getsize(path)
+
+        # Restart every daemon: replay must see only the retained
+        # suffix, and the truncation mark must persist.
+        for sid in list(cluster.servers):
+            cluster.restart(sid)
+
+        for sid, (host, port) in cluster.addresses().items():
+            out = subprocess.run(
+                [sys.executable, "-m", "repro", "stats",
+                 f"{host}:{port}", "--client-id", "c1", "--json"],
+                env=dict(os.environ, PYTHONPATH=SRC),
+                capture_output=True, text=True, timeout=60)
+            assert out.returncode == 0, out.stderr
+            stats = json.loads(out.stdout)
+            if stats["store_records"]:
+                # Only retained records were replayed: the store holds
+                # at most the δ-window + guards, never the 40-record
+                # history, and remembers the truncation point.
+                assert stats["truncated_lsn"] == low_water
+                assert stats["store_records"] <= 2 * CONFIG.delta + 2
+                assert stats["log_bytes"] <= sizes_before[sid]
+
+        asyncio.run(read_back(cluster, lsns))
+
+
+def test_stats_cli_reports_live_counters(tmp_path):
+    with LoopbackCluster(tmp_path, num_servers=3) as cluster:
+        env = dict(os.environ, PYTHONPATH=SRC)
+        args = [sys.executable, "-m", "repro", "loadgen",
+                "--copies", "2", "--duration", "20", "--max-txns", "4",
+                "--clients", "2", "--truncate-every", "2", "--json"]
+        for sid, (host, port) in cluster.addresses().items():
+            args += ["--server", f"{sid}={host}:{port}"]
+        out = subprocess.run(args, env=env, capture_output=True, text=True,
+                             timeout=120)
+        assert out.returncode == 0, out.stderr
+        report = json.loads(out.stdout)
+        assert report["clients"] == 2
+        assert report["transactions"] == 8
+        assert all(c["truncations"] >= 1 for c in report["per_client"])
+
+        host, port = next(iter(cluster.addresses().values()))
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", f"{host}:{port}",
+             "--json"],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert out.returncode == 0, out.stderr
+        stats = json.loads(out.stdout)
+        assert stats["messages_handled"] > 0
+        assert stats["forces_acked"] >= 1
+        assert stats["truncations"] >= 1
+        assert stats["bytes_appended"] > 0
