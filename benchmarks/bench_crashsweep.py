@@ -1,0 +1,59 @@
+"""Crash-point sweep as a trajectory benchmark (EXPERIMENTS.md E14).
+
+Runs the deterministic storage-fault sweep of
+:mod:`repro.harness.crashsweep` and reports its coverage — how many
+distinct I/O crash points the scripted workload exposes, how many
+(point, action) cases were executed, and how long the sweep takes.
+The numbers matter as a trajectory: a storage-layer change that
+silently *removes* crash points (an fsync dropped, a rename fused)
+shows up here as a falling ``points_enumerated`` long before it shows
+up as a durability bug.
+
+``REPRO_RT_SMOKE=1`` runs the quick subset (first/last point per
+site, three daemon points) for CI; the full sweep runs every
+enumerated point.  Zero failures is an assertion, not a metric — a
+failing case is a durability bug and must fail the build.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.harness.crashsweep import SweepConfig, run_crashsweep
+
+from ._emit import emit, emit_json, emit_table
+
+SMOKE = bool(os.environ.get("REPRO_RT_SMOKE"))
+
+
+def test_bench_crashsweep(tmp_path):
+    start = time.perf_counter()
+    report = run_crashsweep(SweepConfig(
+        root_dir=str(tmp_path), quick=SMOKE, daemon=True,
+    ))
+    wall = time.perf_counter() - start
+
+    assert report.points_enumerated >= 30
+    assert report.failures == [], [c.as_dict() for c in report.failures]
+
+    emit_table(
+        ["site", "points"],
+        sorted(report.sites.items()),
+        title=f"crash sweep coverage ({'quick' if SMOKE else 'full'})",
+    )
+    emit(f"[bench] {report.cases_run} in-process cases, "
+         f"{len(report.daemon_cases)} daemon cases, {wall:.1f}s")
+    emit_json("crashsweep", {
+        "params": {"quick": SMOKE, "seed": report.seed},
+        "metrics": {
+            "points_enumerated": report.points_enumerated,
+            "daemon_points_enumerated": report.daemon_points_enumerated,
+            "sites": len(report.sites),
+            "cases_run": report.cases_run,
+            "daemon_cases_run": len(report.daemon_cases),
+            "failures": len(report.failures),
+            "sweep_seconds": round(report.duration_s, 3),
+        },
+        "wall_seconds": wall,
+    })

@@ -14,7 +14,8 @@ can be regenerated without writing code:
 * ``python -m repro restart-latency`` — client init time vs M;
 * ``python -m repro serve``         — run one real log-server daemon;
 * ``python -m repro loadgen``       — drive ET1 load at a real cluster;
-* ``python -m repro stats``         — query a daemon's counters.
+* ``python -m repro stats``         — query a daemon's counters;
+* ``python -m repro crashsweep``    — crash-point durability sweep.
 
 Installed as the ``repro`` console script (``pip install -e .``).
 """
@@ -176,6 +177,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run_server(
             args.data_dir, args.server_id, args.host, args.port,
             compact_watermark_bytes=args.compact_watermark_bytes,
+            fault_plan=args.fault_plan,
+            fault_trace=args.fault_trace,
         ))
     except KeyboardInterrupt:
         pass
@@ -239,6 +242,45 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                    f"(N={args.copies})"),
         ))
     return 0
+
+
+def _cmd_crashsweep(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from .harness.crashsweep import SweepConfig, run_crashsweep
+
+    with tempfile.TemporaryDirectory(prefix="crashsweep-") as tmp:
+        report = run_crashsweep(
+            SweepConfig(
+                root_dir=args.root_dir or tmp,
+                seed=args.seed,
+                quick=args.quick,
+                point=args.point,
+                daemon=not args.no_daemon,
+            ),
+            progress=None if args.json else print,
+        )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print()
+        print(format_table(
+            ["site", "points"],
+            [(site, str(n)) for site, n in sorted(report.sites.items())],
+            title=(f"crash-point sweep — seed {report.seed}, "
+                   f"{report.points_enumerated} points enumerated, "
+                   f"{report.cases_run} cases run"),
+        ))
+        if report.failures:
+            print("\nFAILURES:")
+            for case in report.failures:
+                for error in case.errors:
+                    print(f"  {case.spec}: {error}")
+        else:
+            print(f"\nall {report.cases_run} crash cases passed "
+                  f"({report.duration_s:.1f}s)")
+    return 1 if report.failures else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -364,6 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compact the on-disk log whenever it exceeds "
                         "this size (Section 5.3 fallback when clients "
                         "do not send TruncateLog; default off)")
+    p.add_argument("--fault-plan", default=None, metavar="SITE:IDX:ACTION",
+                   help="arm one deterministic storage fault (e.g. "
+                        "'log.fsync:3:power-loss'); the daemon exits 86 "
+                        "when an injected crash fires")
+    p.add_argument("--fault-trace", default=None, metavar="PATH",
+                   help="append every storage I/O point this daemon hits "
+                        "to PATH (crash-point enumeration)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -387,6 +436,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of a table")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "crashsweep",
+        help="enumerate every storage I/O point of a scripted workload "
+             "and re-run it crashing at each, checking the durability "
+             "invariants after recovery")
+    p.add_argument("--root-dir", default=None,
+                   help="working directory for the sweep's stores "
+                        "(default: a fresh temporary directory)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="payload RNG seed (logged; use to replay a run)")
+    p.add_argument("--quick", action="store_true",
+                   help="bounded CI smoke: first/last point per site, "
+                        "power-loss everywhere + one torn/flip/errno "
+                        "case per site")
+    p.add_argument("--point", default=None, metavar="SITE:IDX[:ACTION]",
+                   help="replay exactly one crash case (action defaults "
+                        "to power-loss)")
+    p.add_argument("--no-daemon", action="store_true",
+                   help="skip the subprocess phase (real 'repro serve' "
+                        "daemons crashed over the wire)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of a table")
+    p.set_defaults(func=_cmd_crashsweep)
 
     p = sub.add_parser(
         "stats", help="query one log server's operational counters")

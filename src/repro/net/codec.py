@@ -24,7 +24,8 @@ followed by a type-specific body:
 * record-bearing messages (WriteLog, ForceLog, CopyLog, ReadLogReply):
   a sequence of records, each a 16-byte record header
   (``RECORD_HEADER_BYTES``: ``!IIBBHI`` — lsn, epoch, flags, kind,
-  data length, CRC-32 of the data) followed by the data bytes;
+  data length, CRC-32 of the preceding header fields *and* the data)
+  followed by the data bytes;
 * IntervalListReply: 12 bytes per interval (``!III`` — epoch, lo, hi),
   "storing one interval requires space for three integers";
 * ErrorReply: the UTF-8 reason string.
@@ -87,6 +88,12 @@ MAX_FRAME_BYTES = 4 << 20
 
 _HEADER = struct.Struct("!HBB16sIII")
 _RECORD = struct.Struct("!IIBBHI")
+#: the CRC-covered fields of ``_RECORD`` (everything before the CRC
+#: itself): lsn, epoch, flags, kind, data length.  The record CRC spans
+#: header *and* data — a flipped bit in the epoch or LSN must be just as
+#: detectable as one in the payload (a header-only flip once fabricated
+#: a higher-epoch record on recovery; see ``repro crashsweep``).
+_RECORD_PREFIX = struct.Struct("!IIBBH")
 _INTERVAL = struct.Struct("!III")
 _FRAME_PREFIX = struct.Struct("!I")
 
@@ -188,12 +195,13 @@ def encode_stored_record(record: StoredRecord) -> bytes:
     if len(data) > MAX_RECORD_DATA:
         raise WireCodecError(f"record data {len(data)} bytes exceeds u16")
     flags = _PRESENT_FLAG if record.present else 0
-    header = _RECORD.pack(
+    prefix = _RECORD_PREFIX.pack(
         _check_u32(record.lsn, "LSN"),
         _check_u32(record.epoch, "epoch"),
-        flags, kind_code, len(data), zlib.crc32(data),
+        flags, kind_code, len(data),
     )
-    return header + data
+    crc = zlib.crc32(data, zlib.crc32(prefix))
+    return prefix + _FRAME_PREFIX.pack(crc) + data
 
 
 def decode_stored_record(buf: bytes, offset: int) -> tuple[StoredRecord, int]:
@@ -205,7 +213,8 @@ def decode_stored_record(buf: bytes, offset: int) -> tuple[StoredRecord, int]:
     data = bytes(buf[end:end + dlen])
     if len(data) != dlen:
         raise WireCodecError("truncated record data")
-    if zlib.crc32(data) != crc:
+    prefix_crc = zlib.crc32(buf[offset:offset + _RECORD_PREFIX.size])
+    if zlib.crc32(data, prefix_crc) != crc:
         raise WireCodecError(f"record ⟨{lsn},{epoch}⟩ failed CRC check")
     kind = CODE_KINDS.get(kind_code)
     if kind is None:

@@ -314,6 +314,9 @@ STATS_COUNTERS: tuple[str, ...] = (
     "truncations",
     "truncated_lsn",       # this client's low-water mark (0 = never)
     "storage_errors",
+    "injected_faults",     # faults the I/O backend injected (chaos runs)
+    "recovery_replays",    # entries replayed from log.dat at last start
+    "crc_rejections",      # complete-but-corrupt entries CRC rejected
 )
 
 

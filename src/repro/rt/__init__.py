@@ -14,26 +14,39 @@ LAN contention, failure injection), this package *runs* it:
 * :mod:`repro.rt.cluster` — a loopback cluster harness spawning M
   server processes for tests and benchmarks;
 * :mod:`repro.rt.loadgen` — an ET1-shaped load driver reporting
-  throughput and ForceLog latency percentiles.
+  throughput and ForceLog latency percentiles;
+* :mod:`repro.rt.faultfs` — injectable storage I/O backends (the
+  deterministic fault layer behind ``repro crashsweep``);
+* :mod:`repro.rt.chaosproxy` — a fault-injecting TCP proxy (stall,
+  latency, loss, one-way partition, byte corruption) so network faults
+  compose with storage faults.
 
 The core protocol logic (interval merging, quorum sizes, recovery
 steps, retry schedule) is imported from :mod:`repro.core` unchanged —
 the runtime swaps the simulated transport and storage for real ones.
 """
 
+from .chaosproxy import ChaosProxy, ProxiedCluster
 from .client import AsyncReplicatedLog, ServerConnection, async_retry
 from .cluster import LoopbackCluster, ServerProcess
+from .faultfs import FaultInjector, FaultPlan, PassthroughIO, PowerLoss
 from .filestore import FileLogStore, FilePageStore
 from .loadgen import LoadReport, run_loadgen, run_loadgen_sync
 from .server import LogServerDaemon, run_server
 
 __all__ = [
     "AsyncReplicatedLog",
+    "ChaosProxy",
+    "FaultInjector",
+    "FaultPlan",
     "FileLogStore",
     "FilePageStore",
     "LoadReport",
     "LogServerDaemon",
     "LoopbackCluster",
+    "PassthroughIO",
+    "PowerLoss",
+    "ProxiedCluster",
     "ServerConnection",
     "ServerProcess",
     "async_retry",

@@ -1,0 +1,190 @@
+"""A fault-injecting loopback TCP proxy (network chaos layer).
+
+Grown out of the stallable proxy in ``tests/rt/test_backpressure.py``:
+interposed between a client and one daemon, :class:`ChaosProxy`
+reproduces the network's misbehavior on demand so it can compose with
+the storage faults of :mod:`repro.rt.faultfs` in one sweep:
+
+* **stall** — stop forwarding in both directions while still reading
+  from the peer (the observable behavior of a SIGSTOP'd server: TCP
+  connects succeed, small sends land in kernel buffers, replies stop);
+* **latency** — a fixed per-chunk forwarding delay;
+* **loss** — drop a chunk with probability ``loss_rate``;
+* **one-way partition** — drop *everything* in one direction while the
+  other keeps flowing (the asymmetric gray failure keep-alive probes
+  are for);
+* **corruption** — flip one bit of a chunk with probability
+  ``corrupt_rate``.
+
+Loss and corruption are driven by a seeded :class:`random.Random`, so
+a chaos run is replayable from its seed.  Note that on a TCP stream,
+dropping or corrupting bytes desynchronizes the wire framing — the
+receiver sees a malformed header or a CRC mismatch and tears the
+connection down; that *is* the scenario being exercised.
+
+:class:`ProxiedCluster` is the in-process three-daemon fixture from the
+back-pressure tests, with the first daemon behind a proxy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+
+from .filestore import FileLogStore
+from .server import LogServerDaemon
+
+#: Valid ``direction`` arguments to :meth:`ChaosProxy.partition`.
+DIRECTIONS = ("c2s", "s2c", "both")
+
+
+class ChaosProxy:
+    """A loopback TCP proxy that misbehaves on command.
+
+    The zero-argument fault knobs (``stall``, ``partition``) are
+    toggled at runtime; the probabilistic ones (``latency_s``,
+    ``loss_rate``, ``corrupt_rate``) are constructor parameters and are
+    applied per 4096-byte chunk, deterministically from ``seed``.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 latency_s: float = 0.0, loss_rate: float = 0.0,
+                 corrupt_rate: float = 0.0, seed: int = 0):
+        self.upstream = (upstream_host, upstream_port)
+        self.stalled = asyncio.Event()
+        self.stalled.set()  # set == flowing
+        self.latency_s = latency_s
+        self.loss_rate = loss_rate
+        self.corrupt_rate = corrupt_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._blocked: set[str] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self.port = 0
+        self.bytes_forwarded = 0
+        self.chunks_dropped = 0
+        self.chunks_corrupted = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    # -- runtime fault toggles -----------------------------------------
+
+    def stall(self) -> None:
+        """Stop forwarding in both directions (hung-server shape)."""
+        self.stalled.clear()
+
+    def unstall(self) -> None:
+        self.stalled.set()
+
+    def partition(self, direction: str = "both") -> None:
+        """Silently drop all traffic flowing in ``direction``.
+
+        Unlike :meth:`stall`, the other direction keeps flowing —
+        ``"s2c"`` makes a server that hears everything but is never
+        heard from, ``"c2s"`` the reverse.
+        """
+        if direction not in DIRECTIONS:
+            raise ValueError(f"direction must be one of {DIRECTIONS}")
+        if direction == "both":
+            self._blocked = {"c2s", "s2c"}
+        else:
+            self._blocked.add(direction)
+
+    def heal(self) -> None:
+        """Remove any partition (stall state is separate)."""
+        self._blocked = set()
+
+    # -- the pump ------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self.upstream)
+        except OSError:
+            writer.close()
+            return
+
+        async def pump(src, dst, direction):
+            try:
+                while True:
+                    chunk = await src.read(4096)
+                    if not chunk:
+                        break
+                    await self.stalled.wait()
+                    if direction in self._blocked:
+                        self.chunks_dropped += 1
+                        continue
+                    if self.loss_rate and self._rng.random() < self.loss_rate:
+                        self.chunks_dropped += 1
+                        continue
+                    if self.corrupt_rate \
+                            and self._rng.random() < self.corrupt_rate:
+                        pos = self._rng.randrange(len(chunk))
+                        bit = 1 << self._rng.randrange(8)
+                        chunk = chunk[:pos] \
+                            + bytes([chunk[pos] ^ bit]) + chunk[pos + 1:]
+                        self.chunks_corrupted += 1
+                    if self.latency_s:
+                        await asyncio.sleep(self.latency_s)
+                    dst.write(chunk)
+                    await dst.drain()
+                    self.bytes_forwarded += len(chunk)
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            finally:
+                try:
+                    dst.close()
+                except Exception:
+                    pass
+
+        await asyncio.gather(pump(reader, up_writer, "c2s"),
+                             pump(up_reader, writer, "s2c"))
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+class ProxiedCluster:
+    """In-process daemons with one of them behind a :class:`ChaosProxy`.
+
+    ``proxy_kwargs`` are forwarded to the proxy constructor, so a test
+    can ask for latency/loss/corruption without rebuilding the fixture.
+    """
+
+    def __init__(self, tmp_path, *, servers: int = 3, **proxy_kwargs):
+        self.tmp_path = tmp_path
+        self.servers = servers
+        self.proxy_kwargs = proxy_kwargs
+        self.daemons: dict[str, LogServerDaemon] = {}
+        self.proxy: ChaosProxy | None = None
+
+    async def __aenter__(self):
+        for i in range(self.servers):
+            sid = f"s{i + 1}"
+            data_dir = os.path.join(self.tmp_path, sid)
+            daemon = LogServerDaemon(FileLogStore(data_dir, sid))
+            await daemon.start()
+            self.daemons[sid] = daemon
+        first = self.daemons["s1"]
+        self.proxy = ChaosProxy(first.host, first.port, **self.proxy_kwargs)
+        await self.proxy.start()
+        return self
+
+    def addresses(self):
+        addrs = {sid: (d.host, d.port) for sid, d in self.daemons.items()}
+        addrs["s1"] = ("127.0.0.1", self.proxy.port)
+        return addrs
+
+    async def __aexit__(self, *exc):
+        await self.proxy.close()
+        for daemon in self.daemons.values():
+            try:
+                await daemon.close()
+            except Exception:
+                pass

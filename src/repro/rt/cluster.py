@@ -65,9 +65,13 @@ class LoopbackCluster:
         num_servers: int = 3,
         *,
         startup_timeout: float = 15.0,
+        server_args: list[str] | None = None,
     ):
         self.root_dir = str(root_dir)
         self.startup_timeout = startup_timeout
+        #: extra ``repro serve`` CLI arguments applied to every spawn
+        #: (e.g. ``["--compact-watermark-bytes", "65536"]``).
+        self.server_args = list(server_args or [])
         self.servers: dict[str, ServerProcess] = {}
         for i in range(num_servers):
             sid = f"s{i + 1}"
@@ -82,8 +86,15 @@ class LoopbackCluster:
         for sid in self.servers:
             self.start_server(sid)
 
-    def start_server(self, server_id: str) -> ServerProcess:
-        """Launch (or relaunch) one daemon and wait for its banner."""
+    def start_server(self, server_id: str,
+                     extra_args: list[str] | None = None) -> ServerProcess:
+        """Launch (or relaunch) one daemon and wait for its banner.
+
+        ``extra_args`` are one-shot ``repro serve`` arguments for this
+        spawn only (e.g. ``["--fault-plan", "log.fsync:3:power-loss"]``
+        in a crash sweep — the restart after the injected crash must
+        not re-arm the fault).
+        """
         entry = self.servers[server_id]
         if entry.alive:
             return entry
@@ -97,7 +108,8 @@ class LoopbackCluster:
             [sys.executable, "-m", "repro", "serve",
              "--data-dir", entry.data_dir,
              "--server-id", server_id,
-             "--port", "0"],
+             "--port", "0"]
+            + self.server_args + list(extra_args or []),
             stdout=subprocess.PIPE,
             stderr=entry.log_file,
             env=env,
@@ -154,10 +166,24 @@ class LoopbackCluster:
         if entry.process is not None and entry.process.poll() is None:
             entry.process.send_signal(signal.SIGCONT)
 
-    def restart(self, server_id: str) -> ServerProcess:
+    def wait(self, server_id: str, timeout: float = 30.0) -> int:
+        """Wait for a daemon to exit on its own; return its exit status.
+
+        Used by the crash sweep: a daemon with an armed fault plan
+        exits with :data:`repro.rt.faultfs.FAULT_EXIT_CODE` when the
+        injected power loss fires.
+        """
+        entry = self.servers[server_id]
+        assert entry.process is not None, "server was never started"
+        code = entry.process.wait(timeout=timeout)
+        self._close_log(entry)
+        return code
+
+    def restart(self, server_id: str,
+                extra_args: list[str] | None = None) -> ServerProcess:
         """Bring a killed daemon back on a fresh ephemeral port."""
         self.kill(server_id)
-        return self.start_server(server_id)
+        return self.start_server(server_id, extra_args)
 
     def stop(self) -> None:
         for entry in self.servers.values():

@@ -63,12 +63,11 @@ and are served from the replayed in-memory state instead.
 
 from __future__ import annotations
 
-import os
 import struct
 import zlib
 from pathlib import Path
 
-from ..core.errors import StorageError
+from ..core.errors import ProtocolError, StorageError
 from ..core.intervals import ServerIntervals
 from ..core.records import Epoch, LSN, StoredRecord
 from ..core.store import LogServerStore
@@ -79,6 +78,7 @@ from ..net.codec import (
     encode_stored_record,
 )
 from ..storage.append_forest import AppendForest, ForestNode
+from .faultfs import PassthroughIO
 
 ENTRY_MAGIC = 0x4C45
 _ENTRY = struct.Struct("!HB16s")
@@ -95,10 +95,31 @@ E_GENERATOR = 4
 #: of the rewritten stream so a replay after restart re-arms the
 #: late-retransmission guard.
 E_TRUNCATE = 5
+#: Stream metadata: the log generation (``!QI`` value + CRC, like
+#: ``E_GENERATOR``).  Each compaction starts its rewritten stream with
+#: the incremented generation; forest index files record the generation
+#: they were built against, so a crash anywhere between the compaction
+#: rename and the index rebuild leaves forests that are *detectably*
+#: stale (discarded and rebuilt from the log scan) instead of silently
+#: mapping LSNs to byte offsets in a different stream.
+E_META = 6
+
+#: injector site name per entry type (``faultfs`` crash-point naming).
+_ETYPE_SITES = {
+    E_RECORD: "log.write.record",
+    E_STAGED: "log.write.staged",
+    E_INSTALL: "log.write.install",
+    E_GENERATOR: "log.write.generator",
+    E_TRUNCATE: "log.write.truncate",
+    E_META: "log.write.meta",
+}
 
 PAGE_MAGIC = 0x4C46
 _PAGE = struct.Struct("!HHI")  # magic, payload length, CRC-32(payload)
 _NODE = struct.Struct("!IIqqqIHH")  # lo, hi, left, right, forest, min, h, n
+
+FOREST_MAGIC = 0x4C47
+_FOREST_HDR = struct.Struct("!HQI")  # magic, generation, CRC-32(!Q gen)
 
 
 class FileStoreError(Exception):
@@ -123,30 +144,59 @@ class FilePageStore:
     dropped at open, matching the append-forest durability contract
     ("a torn final page simply yields the forest as of the previous
     append").
+
+    The file starts with a header recording the **log generation** the
+    index was built against (see ``E_META``).  A file whose header is
+    missing, torn, or from a different generation is discarded whole —
+    its byte offsets describe a stream that no longer exists — and the
+    owner rebuilds it from the log scan.
     """
 
-    def __init__(self, path: Path):
+    def __init__(self, path: Path, io: PassthroughIO | None = None, *,
+                 generation: int = 0):
         self.path = Path(path)
+        self.io = io if io is not None else PassthroughIO()
+        self.generation = generation
         self._pages: list[ForestNode] = []
         self.appends = 0
         self.reads = 0
         valid = 0
         if self.path.exists():
             raw = self.path.read_bytes()
-            offset = 0
-            while offset + _PAGE.size <= len(raw):
-                magic, plen, crc = _PAGE.unpack_from(raw, offset)
-                body = raw[offset + _PAGE.size:offset + _PAGE.size + plen]
-                if magic != PAGE_MAGIC or len(body) != plen \
-                        or zlib.crc32(body) != crc:
-                    break
-                self._pages.append(self._decode_node(body))
-                offset += _PAGE.size + plen
-                valid = offset
-            if valid < len(raw):
+            offset = None
+            if len(raw) >= _FOREST_HDR.size:
+                magic, gen, crc = _FOREST_HDR.unpack_from(raw, 0)
+                if magic == FOREST_MAGIC and gen == generation \
+                        and zlib.crc32(raw[2:2 + 8]) == crc:
+                    offset = _FOREST_HDR.size
+            if offset is None:
+                # Stale generation, torn header, or a pre-generation
+                # legacy file: the offsets inside are not trustworthy.
                 with open(self.path, "r+b") as fh:
-                    fh.truncate(valid)
-        self._file = open(self.path, "ab")
+                    fh.truncate(0)
+            else:
+                valid = offset
+                while offset + _PAGE.size <= len(raw):
+                    magic, plen, crc = _PAGE.unpack_from(raw, offset)
+                    body = raw[offset + _PAGE.size:offset + _PAGE.size + plen]
+                    if magic != PAGE_MAGIC or len(body) != plen \
+                            or zlib.crc32(body) != crc:
+                        break
+                    self._pages.append(self._decode_node(body))
+                    offset += _PAGE.size + plen
+                    valid = offset
+                if valid < len(raw):
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(valid)
+        self._file = self.io.open(self.path, "ab", "forest.open")
+        if valid == 0:
+            gen_bytes = struct.pack("!Q", generation)
+            self.io.write(
+                self._file,
+                _FOREST_HDR.pack(FOREST_MAGIC, generation,
+                                 zlib.crc32(gen_bytes)),
+                "forest.write",
+            )
 
     @staticmethod
     def _encode_node(node: ForestNode) -> bytes:
@@ -170,8 +220,8 @@ class FilePageStore:
 
     def append(self, payload: ForestNode) -> int:
         body = self._encode_node(payload)
-        self._file.write(_PAGE.pack(PAGE_MAGIC, len(body), zlib.crc32(body)))
-        self._file.write(body)
+        page = _PAGE.pack(PAGE_MAGIC, len(body), zlib.crc32(body)) + body
+        self.io.write(self._file, page, "forest.write")
         self._pages.append(payload)
         self.appends += 1
         return len(self._pages) - 1
@@ -188,11 +238,13 @@ class FilePageStore:
         return len(self._pages)
 
     def flush(self) -> None:
-        self._file.flush()
+        if not self._file.closed:
+            self._file.flush()
 
     def close(self) -> None:
-        self._file.flush()
-        self._file.close()
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
 
 
 def _client_file_tag(client_id: str) -> str:
@@ -211,9 +263,14 @@ class FileLogStore:
     """
 
     def __init__(self, data_dir: str | Path, server_id: str, *,
-                 compact_watermark_bytes: int | None = None):
+                 compact_watermark_bytes: int | None = None,
+                 io: PassthroughIO | None = None):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
+        #: the storage I/O backend every mutating call goes through
+        #: (:class:`~repro.rt.faultfs.PassthroughIO` by default, a
+        #: :class:`~repro.rt.faultfs.FaultInjector` under crashsweep).
+        self.io = io if io is not None else PassthroughIO()
         self.server_id = server_id
         self.mem = LogServerStore(server_id)
         self.generator_value = 0
@@ -232,13 +289,25 @@ class FileLogStore:
         self.compactions = 0
         self.reclaimed_bytes = 0
         self.storage_errors = 0
+        #: complete-but-corrupt entries rejected by CRC during recovery
+        #: (torn tails are not corruption and are counted separately).
+        self.crc_rejections = 0
+        #: bumped by every compaction; ties forest index files to the
+        #: log stream they index (see ``E_META``).
+        self.log_generation = 0
         #: first storage failure observed; non-None wedges all appends
         #: (the daemon degrades to read-only rather than lying about
         #: durability).
         self.io_error: str | None = None
         self._last_compact_size = 0
         self._size = self._recover()
-        self._file = open(self._log_path, "ab")
+        existed = self._log_path.exists()
+        self._file = self.io.open(self._log_path, "ab", "log.open")
+        if not existed:
+            # A freshly created log.dat is not durable until its
+            # directory entry is: without this barrier, power loss
+            # after the first acked fsync could drop the whole file.
+            self.io.fsync_dir(self.data_dir, "dir.create-sync")
 
     # -- recovery -----------------------------------------------------
 
@@ -253,24 +322,39 @@ class FileLogStore:
             if parsed is None:
                 break
             etype, client_id, payload, next_offset = parsed
-            if etype == E_RECORD:
-                self.mem.server_write_record(client_id, payload)
-                steady.setdefault(client_id, []).append(
-                    (payload.lsn, offset)
-                )
-            elif etype == E_STAGED:
-                self.mem.copy_log(client_id, payload.lsn, payload.epoch,
-                                  payload.present, payload.data, payload.kind)
-            elif etype == E_INSTALL:
-                self.mem.install_copies(client_id, payload)
-            elif etype == E_TRUNCATE:
-                self.mem.truncate_below(client_id, payload)
-                pairs = steady.get(client_id)
-                if pairs:
-                    steady[client_id] = [(lsn, off) for lsn, off in pairs
-                                         if lsn >= payload]
-            else:  # E_GENERATOR
-                self.generator_value = max(self.generator_value, payload)
+            try:
+                if etype == E_RECORD:
+                    self.mem.server_write_record(client_id, payload)
+                    steady.setdefault(client_id, []).append(
+                        (payload.lsn, offset)
+                    )
+                elif etype == E_STAGED:
+                    self.mem.copy_log(client_id, payload.lsn, payload.epoch,
+                                      payload.present, payload.data,
+                                      payload.kind)
+                elif etype == E_INSTALL:
+                    self.mem.install_copies(client_id, payload)
+                elif etype == E_TRUNCATE:
+                    self.mem.truncate_below(client_id, payload)
+                    pairs = steady.get(client_id)
+                    if pairs:
+                        steady[client_id] = [(lsn, off) for lsn, off in pairs
+                                             if lsn >= payload]
+                elif etype == E_META:
+                    self.log_generation = max(self.log_generation, payload)
+                else:  # E_GENERATOR
+                    self.generator_value = max(self.generator_value, payload)
+            except ProtocolError:
+                # The entry decoded but cannot have been written by this
+                # store (e.g. "epoch went backwards").  The record CRC
+                # now spans the header too, so this is defense in depth;
+                # it was first hit for real when a header bit flip
+                # slipped past the old data-only CRC and the restart
+                # died on the ProtocolError (``repro crashsweep``,
+                # compact.write:3:bit-flip).  Corruption ends the valid
+                # prefix; recovery keeps what precedes it.
+                self.crc_rejections += 1
+                break
             self.recovered_entries += 1
             offset = next_offset
             valid = offset
@@ -289,11 +373,16 @@ class FileLogStore:
                     high = lsn
         return valid
 
-    @staticmethod
     def _parse_entry(
-        raw: bytes, offset: int
+        self, raw: bytes, offset: int
     ) -> tuple[int, str, object, int] | None:
-        """Parse one entry; ``None`` if the tail is torn or corrupt."""
+        """Parse one entry; ``None`` if the tail is torn or corrupt.
+
+        An entry whose bytes are all present but whose CRC does not
+        verify is *corruption* (e.g. an injected bit flip), counted in
+        ``crc_rejections``; an incomplete entry is an ordinary torn
+        tail and is not.
+        """
         if offset + _ENTRY.size > len(raw):
             return None
         magic, etype, cid_raw = _ENTRY.unpack_from(raw, offset)
@@ -303,11 +392,16 @@ class FileLogStore:
         try:
             client_id = cid_raw.rstrip(b"\x00").decode("utf-8")
         except UnicodeDecodeError:
+            self.crc_rejections += 1
             return None
         if etype in (E_RECORD, E_STAGED):
             try:
                 record, end = decode_stored_record(raw, body)
             except WireCodecError:
+                if body + RECORD_HEADER_BYTES <= len(raw):
+                    (dlen,) = struct.unpack_from("!H", raw, body + 10)
+                    if body + RECORD_HEADER_BYTES + dlen <= len(raw):
+                        self.crc_rejections += 1
                 return None
             return etype, client_id, record, end
         if etype in (E_INSTALL, E_TRUNCATE):
@@ -315,13 +409,15 @@ class FileLogStore:
                 return None
             value, crc = _INSTALL.unpack_from(raw, body)
             if zlib.crc32(raw[body:body + 4]) != crc:
+                self.crc_rejections += 1
                 return None
             return etype, client_id, value, body + _INSTALL.size
-        if etype == E_GENERATOR:
+        if etype in (E_GENERATOR, E_META):
             if body + _GENERATOR.size > len(raw):
                 return None
             value, crc = _GENERATOR.unpack_from(raw, body)
             if zlib.crc32(raw[body:body + 8]) != crc:
+                self.crc_rejections += 1
                 return None
             return etype, client_id, value, body + _GENERATOR.size
         return None
@@ -352,10 +448,9 @@ class FileLogStore:
         offset = self._size
         buf = _ENTRY.pack(ENTRY_MAGIC, etype, cid_raw) + payload
         try:
-            self._file.write(buf)
+            self.io.write(self._file, buf, _ETYPE_SITES[etype])
             if fsync:
-                self._file.flush()
-                os.fsync(self._file.fileno())
+                self.io.fsync(self._file, "log.fsync")
         except OSError as exc:
             raise self._wedge(exc) from exc
         self._size += len(buf)
@@ -412,8 +507,7 @@ class FileLogStore:
         """Make everything appended so far durable (flush + fsync)."""
         self._check_writable()
         try:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            self.io.fsync(self._file, "log.fsync")
         except OSError as exc:
             raise self._wedge(exc) from exc
 
@@ -504,23 +598,31 @@ class FileLogStore:
 
         The rewrite goes to ``log.dat.tmp`` (fsync'd), then atomically
         replaces ``log.dat``; the append-forest index files are rebuilt
-        against the new byte offsets.
+        against the new byte offsets.  The rewritten stream opens with
+        an ``E_META`` entry carrying the incremented log generation, so
+        index files built against the old stream can never be mistaken
+        for current (see :class:`FilePageStore`).
         """
         self._check_writable()
         tmp_path = Path(str(self._log_path) + ".tmp")
         steady: dict[str, list[tuple[LSN, int]]] = {}
         size = 0
+        generation = self.log_generation + 1
         try:
-            with open(tmp_path, "wb") as out:
+            out = self.io.open(tmp_path, "wb", "compact.open")
+            try:
                 def emit(etype: int, cid: str, payload: bytes) -> int:
                     nonlocal size
                     offset = size
                     buf = _ENTRY.pack(ENTRY_MAGIC, etype,
                                       cid.encode("utf-8")) + payload
-                    out.write(buf)
+                    self.io.write(out, buf, "compact.write")
                     size += len(buf)
                     return offset
 
+                gen_bytes = struct.pack("!Q", generation)
+                emit(E_META, "",
+                     _GENERATOR.pack(generation, zlib.crc32(gen_bytes)))
                 for client_id in self.mem.known_clients():
                     state = self.mem.client_state(client_id)
                     if state.truncated_below:
@@ -543,19 +645,26 @@ class FileLogStore:
                     emit(E_GENERATOR, "",
                          _GENERATOR.pack(self.generator_value,
                                          zlib.crc32(value_bytes)))
-                out.flush()
-                os.fsync(out.fileno())
+                self.io.fsync(out, "compact.fsync")
+            finally:
+                out.close()
             old_size = self._size
             self._file.close()
-            os.replace(tmp_path, self._log_path)
-            self._file = open(self._log_path, "ab")
-            dir_fd = os.open(self.data_dir, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
+            self.io.replace(tmp_path, self._log_path, "compact.rename")
+            self._file = self.io.open(self._log_path, "ab", "compact.reopen")
+            self.io.fsync_dir(self.data_dir, "compact.dirsync")
         except OSError as exc:
+            if self._file.closed:
+                # The store wedges read-only, but reads (and the final
+                # close) still go through ``self._file``: restore a
+                # usable handle on whatever log.dat survived.
+                try:
+                    self._file = self.io.open(self._log_path, "ab",
+                                              "log.open")
+                except OSError:
+                    pass
             raise self._wedge(exc) from exc
+        self.log_generation = generation
         self._size = size
         self._last_compact_size = size
         self.compactions += 1
@@ -569,15 +678,20 @@ class FileLogStore:
         for forest in self._forests.values():
             forest.store.close()
         self._forests = {}
-        for path in self.data_dir.glob("forest-*.idx"):
-            path.unlink()
-        for client_id, pairs in steady.items():
-            forest = self._forest(client_id)
-            high = 0
-            for lsn, offset in pairs:
-                if lsn > high:
-                    forest.append_key(lsn, offset)
-                    high = lsn
+        try:
+            for path in self.data_dir.glob("forest-*.idx"):
+                self.io.unlink(path, "forest.unlink")
+            for client_id, pairs in steady.items():
+                forest = self._forest(client_id)
+                high = 0
+                for lsn, offset in pairs:
+                    if lsn > high:
+                        forest.append_key(lsn, offset)
+                        high = lsn
+        except OSError as exc:
+            # The index is advisory (rebuilt from the log scan on
+            # recovery), but a failing disk wedges appends all the same.
+            raise self._wedge(exc) from exc
 
     # -- reads --------------------------------------------------------
 
@@ -609,6 +723,14 @@ class FileLogStore:
         Returns ``None`` when the LSN is not in the forest (never
         appended, or re-written below the high-water mark and so served
         from replayed state instead).
+
+        A rewrite is detected by epoch: InstallCopies replaces a record
+        *in place* in the replayed state, but the forest — append-only,
+        strictly increasing keys — still maps the LSN to the original
+        append.  Found by ``repro crashsweep`` (crash point
+        ``log.write.record:25``, any later restart): the index served
+        the superseded pre-install record.  The next compaction
+        re-indexes the winning copy and the entry becomes valid again.
         """
         forest = self._forests.get(client_id)
         if forest is None:
@@ -617,12 +739,16 @@ class FileLogStore:
             offset = forest.search(lsn)
         except KeyError:
             return None
-        self._file.flush()
+        if not self._file.closed:
+            self._file.flush()
         with open(self._log_path, "rb") as fh:
             fh.seek(offset + _ENTRY.size)
             header = fh.read(RECORD_HEADER_BYTES)
             (dlen,) = struct.unpack_from("!H", header, 10)
             record, _ = decode_stored_record(header + fh.read(dlen), 0)
+        current = self.mem.client_state(client_id).lookup(lsn)
+        if current is not None and current.epoch != record.epoch:
+            return None  # stale index entry: the record was re-written
         return record
 
     def forest(self, client_id: str) -> AppendForest | None:
@@ -633,20 +759,29 @@ class FileLogStore:
         forest = self._forests.get(client_id)
         if forest is None:
             path = self.data_dir / f"forest-{_client_file_tag(client_id)}.idx"
-            forest = AppendForest(FilePageStore(path))
+            forest = AppendForest(FilePageStore(
+                path, self.io, generation=self.log_generation
+            ))
             forest.rebuild_from_store()
             self._forests[client_id] = forest
         return forest
 
     # -- lifecycle ----------------------------------------------------
 
+    @property
+    def injected_faults(self) -> int:
+        """Faults the I/O backend injected (0 under the passthrough)."""
+        return self.io.faults_injected
+
     def flush(self) -> None:
-        self._file.flush()
+        if not self._file.closed:
+            self._file.flush()
         for forest in self._forests.values():
             forest.store.flush()
 
     def close(self) -> None:
-        self._file.flush()
-        self._file.close()
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
         for forest in self._forests.values():
             forest.store.close()

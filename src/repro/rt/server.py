@@ -70,6 +70,7 @@ from ..net.messages import (
     WriteLogMsg,
 )
 from ..net.packet import PACKET_PAYLOAD_BYTES
+from .faultfs import FaultInjector, FaultPlan
 from .filestore import FileLogStore
 
 log = logging.getLogger(__name__)
@@ -290,6 +291,9 @@ class LogServerDaemon:
             "truncations": store.truncations,
             "truncated_lsn": store.truncated_lsn(msg.client_id),
             "storage_errors": store.storage_errors,
+            "injected_faults": store.injected_faults,
+            "recovery_replays": store.recovered_entries,
+            "crc_rejections": store.crc_rejections,
         }
         counters = tuple(values[name] for name in STATS_COUNTERS)
         return StatsReply(msg.client_id, counters)
@@ -312,15 +316,29 @@ async def run_server(
     announce=print,
     ready: "asyncio.Event | None" = None,
     compact_watermark_bytes: int | None = None,
+    fault_plan: str | None = None,
+    fault_trace: str | None = None,
 ) -> None:
     """Run one daemon until cancelled (the ``repro serve`` entry point).
 
     Prints ``REPRO-SERVE <server_id> <host> <port>`` once listening so
     a parent process (:mod:`repro.rt.cluster`) can harvest the
     ephemeral port.
+
+    ``fault_plan`` (``site:index:action``) arms one storage fault via
+    :class:`~repro.rt.faultfs.FaultInjector`; an injected power loss
+    exits the process with status 86 after printing
+    ``REPRO-FAULT-CRASH <site>:<index>`` to stderr.  ``fault_trace``
+    appends every I/O crash point hit to a file, which is how the
+    sweep harness enumerates a daemon workload's points.
     """
+    io = None
+    if fault_plan is not None or fault_trace is not None:
+        plan = FaultPlan.parse(fault_plan) if fault_plan else None
+        io = FaultInjector(plan, mode="exit", trace_path=fault_trace)
     store = FileLogStore(data_dir, server_id,
-                         compact_watermark_bytes=compact_watermark_bytes)
+                         compact_watermark_bytes=compact_watermark_bytes,
+                         io=io)
     daemon = LogServerDaemon(store, host, port)
     await daemon.start()
     announce(f"REPRO-SERVE {server_id} {daemon.host} {daemon.port}",

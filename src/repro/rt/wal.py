@@ -1,0 +1,107 @@
+"""Run the transaction layer over the real network runtime.
+
+The recovery manager (:mod:`repro.client.recovery_manager`) speaks a
+generator-based backend interface so the same transaction code runs
+in-process, under the discrete-event simulator, and — with this
+module — against real TCP log servers:
+
+* :class:`AsyncWalBackend` adapts :class:`~repro.rt.client.
+  AsyncReplicatedLog` to the backend protocol.  Each method is a
+  generator that *yields awaitables*; it never touches the event loop
+  itself.
+* :func:`drive` is the loop: it awaits whatever the generator yields
+  and sends the result back in, until the generator returns.
+
+So ``await drive(rm.commit(txn))`` runs a commit whose WriteLog /
+ForceLog calls travel over real sockets, and a checkpoint configured
+with ``truncate_on_checkpoint=True`` really truncates the servers'
+logs at the Section 5.3 low-water mark::
+
+    log = AsyncReplicatedLog("c1", addresses, config)
+    await log.initialize()
+    rm = RecoveryManager(AsyncWalBackend(log), Database(),
+                         checkpoint_every=8, truncate_on_checkpoint=True)
+    txn = await drive(rm.begin())
+    await drive(rm.update(txn, "a", "1"))
+    await drive(rm.commit(txn))
+"""
+
+from __future__ import annotations
+
+from ..core.errors import LSNNotWritten, RecordNotPresent
+from ..core.records import LogRecord, LSN
+from .client import AsyncReplicatedLog
+
+
+async def drive(gen):
+    """Drive a backend-interface generator, awaiting what it yields.
+
+    Exceptions raised by an awaitable are thrown back *into* the
+    generator at the yield point, so backend code can catch wire-level
+    errors (``except LSNNotWritten:``) exactly like the in-process
+    backends do.
+    """
+    result = None
+    pending: BaseException | None = None
+    while True:
+        try:
+            if pending is None:
+                awaitable = gen.send(result)
+            else:
+                exc, pending = pending, None
+                awaitable = gen.throw(exc)
+        except StopIteration as stop:
+            return stop.value
+        try:
+            result = await awaitable
+        except Exception as exc:
+            pending = exc
+            result = None
+
+
+class AsyncWalBackend:
+    """The recovery manager's log backend over an AsyncReplicatedLog.
+
+    Every generator method yields coroutines for :func:`drive` to
+    await; ``end_of_log`` is synchronous, mirroring the other backends.
+    """
+
+    def __init__(self, log: AsyncReplicatedLog):
+        self.replicated = log
+
+    def log(self, data: bytes, kind: str = "data"):
+        return (yield self.replicated.write(data, kind))
+
+    def force(self):
+        return (yield self.replicated.force())
+
+    def read(self, lsn: LSN):
+        try:
+            return (yield self.replicated.read(lsn))
+        except LSNNotWritten:
+            # Reading back one's own δ-buffered write (e.g. the abort
+            # path fetching an undo value): the record is on the wire
+            # but unacknowledged, so the merged interval map does not
+            # cover it yet.  Force, then retry once.
+            yield self.replicated.force()
+            return (yield self.replicated.read(lsn))
+
+    def end_of_log(self) -> LSN:
+        return self.replicated.end_of_log()
+
+    def truncate(self, low_water: LSN):
+        """Section 5.3: drop records below ``low_water`` cluster-wide."""
+        return (yield self.replicated.truncate(low_water))
+
+    def scan_backward(self, from_lsn: LSN | None = None):
+        """Collect present records newest-first (restart recovery)."""
+        records: list[LogRecord] = []
+        start = from_lsn if from_lsn is not None \
+            else self.replicated.end_of_log()
+        for lsn in range(start, 0, -1):
+            try:
+                record = yield self.replicated.read(lsn)
+            except (RecordNotPresent, LSNNotWritten):
+                continue
+            records.append(record)
+        return records

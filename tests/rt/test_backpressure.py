@@ -2,9 +2,10 @@
 
 A *hung* server is worse than a dead one: TCP connects still succeed
 and small sends still land in kernel buffers, so nothing errors — the
-replies just stop.  These tests interpose a stallable TCP proxy
-between the client and one daemon to create exactly that gray failure
-and assert the three defenses added for it:
+replies just stop.  These tests interpose the stallable
+:class:`~repro.rt.chaosproxy.ChaosProxy` between the client and one
+daemon to create exactly that gray failure and assert the three
+defenses added for it:
 
 * the bounded send queue + writer task keep a stalled peer from ever
   blocking the batch path (``try_send`` reports, never waits);
@@ -19,7 +20,6 @@ and assert the three defenses added for it:
 from __future__ import annotations
 
 import asyncio
-import os
 import time
 
 import pytest
@@ -27,106 +27,10 @@ import pytest
 from repro.core.config import ReplicationConfig
 from repro.core.errors import ServerUnavailable
 from repro.net.messages import IntervalListCall
+from repro.rt.chaosproxy import ProxiedCluster
 from repro.rt.client import AsyncReplicatedLog, ServerConnection
-from repro.rt.filestore import FileLogStore
-from repro.rt.server import LogServerDaemon
 
 CONFIG = ReplicationConfig(total_servers=3, copies=2, delta=8)
-
-
-class StallableProxy:
-    """A loopback TCP proxy that can stop forwarding on command.
-
-    While stalled, bytes from the client are still *read* slowly into
-    the proxy (so the client's kernel send buffer does not fill
-    instantly) but nothing is forwarded and no replies come back —
-    the observable behavior of a SIGSTOP'd server process.
-    """
-
-    def __init__(self, upstream_host: str, upstream_port: int):
-        self.upstream = (upstream_host, upstream_port)
-        self.stalled = asyncio.Event()
-        self.stalled.set()  # set == flowing
-        self._server: asyncio.AbstractServer | None = None
-        self.port = 0
-
-    async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle, "127.0.0.1", 0)
-        self.port = self._server.sockets[0].getsockname()[1]
-
-    def stall(self) -> None:
-        self.stalled.clear()
-
-    def unstall(self) -> None:
-        self.stalled.set()
-
-    async def _handle(self, reader, writer) -> None:
-        try:
-            up_reader, up_writer = await asyncio.open_connection(
-                *self.upstream)
-        except OSError:
-            writer.close()
-            return
-
-        async def pump(src, dst):
-            try:
-                while True:
-                    chunk = await src.read(4096)
-                    if not chunk:
-                        break
-                    await self.stalled.wait()
-                    dst.write(chunk)
-                    await dst.drain()
-            except (ConnectionError, OSError, asyncio.CancelledError):
-                pass
-            finally:
-                try:
-                    dst.close()
-                except Exception:
-                    pass
-
-        await asyncio.gather(pump(reader, up_writer),
-                             pump(up_reader, writer))
-
-    async def close(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-
-
-class ProxiedCluster:
-    """Three in-process daemons, the first behind a stallable proxy."""
-
-    def __init__(self, tmp_path):
-        self.tmp_path = tmp_path
-        self.daemons: dict[str, LogServerDaemon] = {}
-        self.proxy: StallableProxy | None = None
-
-    async def __aenter__(self):
-        for i in range(3):
-            sid = f"s{i + 1}"
-            data_dir = os.path.join(self.tmp_path, sid)
-            daemon = LogServerDaemon(FileLogStore(data_dir, sid))
-            await daemon.start()
-            self.daemons[sid] = daemon
-        first = self.daemons["s1"]
-        self.proxy = StallableProxy(first.host, first.port)
-        await self.proxy.start()
-        return self
-
-    def addresses(self):
-        addrs = {sid: (d.host, d.port) for sid, d in self.daemons.items()}
-        addrs["s1"] = ("127.0.0.1", self.proxy.port)
-        return addrs
-
-    async def __aexit__(self, *exc):
-        await self.proxy.close()
-        for daemon in self.daemons.values():
-            try:
-                await daemon.close()
-            except Exception:
-                pass
 
 
 def test_call_timeout_tears_down_connection(tmp_path):

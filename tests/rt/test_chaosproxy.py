@@ -1,0 +1,102 @@
+"""The reusable network chaos layer (:mod:`repro.rt.chaosproxy`).
+
+The stall knob is exercised at length by ``test_backpressure.py``;
+these tests cover the knobs that were added when the proxy was promoted
+out of that file: latency, loss, one-way partitions, and corruption.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.core.errors import LogError, ServerUnavailable
+from repro.net.messages import IntervalListCall
+from repro.rt.chaosproxy import ChaosProxy, ProxiedCluster
+from repro.rt.client import AsyncReplicatedLog, ServerConnection
+
+CONFIG = ReplicationConfig(total_servers=3, copies=2, delta=8)
+
+
+def test_latency_delays_every_round_trip(tmp_path):
+    async def main():
+        async with ProxiedCluster(tmp_path, latency_s=0.05) as cluster:
+            conn = ServerConnection("s1", "127.0.0.1", cluster.proxy.port,
+                                    timeout=5.0, client_id="c1")
+            await conn.connect()
+            t0 = time.monotonic()
+            await conn.call(IntervalListCall("c1"))
+            elapsed = time.monotonic() - t0
+            # one chunk each way through the proxy: >= 2 * latency
+            assert elapsed >= 0.09
+            assert cluster.proxy.bytes_forwarded > 0
+            await conn.close()
+
+    asyncio.run(main())
+
+
+def test_one_way_partition_starves_replies(tmp_path):
+    async def main():
+        async with ProxiedCluster(tmp_path) as cluster:
+            conn = ServerConnection("s1", "127.0.0.1", cluster.proxy.port,
+                                    timeout=0.4, client_id="c1")
+            await conn.connect()
+            await conn.call(IntervalListCall("c1"))  # healthy baseline
+            cluster.proxy.partition("s2c")
+            with pytest.raises(ServerUnavailable):
+                await conn.call(IntervalListCall("c1"))
+            assert cluster.proxy.chunks_dropped >= 1
+            # After healing, a fresh connection works again.
+            cluster.proxy.heal()
+            conn2 = ServerConnection("s1", "127.0.0.1", cluster.proxy.port,
+                                     timeout=2.0, client_id="c1")
+            await conn2.connect()
+            await conn2.call(IntervalListCall("c1"))
+            await conn.close()
+            await conn2.close()
+
+    asyncio.run(main())
+
+
+def test_total_loss_blocks_progress_spares_carry_it(tmp_path):
+    async def main():
+        async with ProxiedCluster(tmp_path, loss_rate=1.0) as cluster:
+            log = AsyncReplicatedLog("c1", cluster.addresses(), CONFIG,
+                                     timeout=1.0)
+            await log.initialize()  # s1 unusable; spares answer
+            lsn = await log.write(b"x")
+            high = await log.force()
+            assert high >= lsn
+            assert (await log.read(lsn)).data == b"x"
+            assert "s1" not in log.write_set
+            await log.close()
+            assert cluster.proxy.chunks_dropped >= 1
+
+    asyncio.run(main())
+
+
+def test_corruption_is_detected_not_accepted(tmp_path):
+    async def main():
+        async with ProxiedCluster(tmp_path, corrupt_rate=1.0,
+                                  seed=7) as cluster:
+            conn = ServerConnection("s1", "127.0.0.1", cluster.proxy.port,
+                                    timeout=1.0, client_id="c1")
+            await conn.connect()
+            # A corrupted frame desynchronizes the stream: the call
+            # must fail (decode error / teardown / timeout) — never
+            # return corrupt data as success.
+            with pytest.raises((ServerUnavailable, LogError)):
+                await conn.call(IntervalListCall("c1"))
+            assert cluster.proxy.chunks_corrupted >= 1
+            await conn.close()
+
+    asyncio.run(main())
+
+
+def test_partition_validates_direction():
+    proxy = ChaosProxy("127.0.0.1", 1)
+    with pytest.raises(ValueError):
+        proxy.partition("sideways")
