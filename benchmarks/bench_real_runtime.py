@@ -2,42 +2,70 @@
 
 Where ``bench_sec4_1_simulated.py`` measures the *model*, this measures
 the *runtime*: M=3 real log-server processes (asyncio daemons over
-fsync'd file stores), one asyncio client writing the Section 4.1 ET1
-logging profile (seven 100-byte records per transaction, one forced
-commit), N=2 copies per record.  Reports records/sec and ForceLog
-latency percentiles, and emits ``BENCH_real_runtime.json`` for the
-performance trajectory.
+fsync'd file stores) serving the Section 4.1 ET1 logging profile
+(seven 100-byte records per transaction, one forced commit), N=2
+copies per record.  Three phases:
+
+1. **Light load** — one closed-loop client against the group-commit
+   servers: ForceLog p50/p99 with no queueing, the latency the
+   adaptive δ path must not regress.
+2. **Throughput A/B** — ``REPRO_RT_CLIENTS`` concurrent clients,
+   interleaved ``REPRO_RT_REPEATS`` times against (a) servers started
+   with ``--no-group-commit`` (every ForceLog appends and fsyncs
+   inline — the pre-group-commit hot path) and (b) the default shared
+   one-fsync-per-group servers.  Interleaving absorbs machine drift;
+   the medians and their ratio are the headline numbers.
+3. **Chaos** (``REPRO_RT_CHAOS=1``) — one write-set server SIGSTOP'd
+   mid-run; keep-alive probes must demote it (EXPERIMENTS.md E13).
 
 Loopback TCP on one machine is *not* the paper's 10 Mbit/s token-ring
 LAN: there is no transmission delay to speak of, but every force pays
-two real ``fsync`` calls on the same disk.  The figures are a floor
-for the runtime's software overhead, not a reproduction of the paper's
-capacity numbers — see EXPERIMENTS.md E12.
+real ``fsync`` calls on the same disk and every process shares the
+same cores.  The figures are a floor for the runtime's software
+overhead, not a reproduction of the paper's capacity numbers — see
+EXPERIMENTS.md E12/E15.
 
-``REPRO_RT_SMOKE=1`` shortens the run for CI.  ``REPRO_RT_CHAOS=1``
-adds a chaos phase: a second run in which one write-set server is
-SIGSTOP'd a quarter of the way in — the gray failure of
-EXPERIMENTS.md E13 — measuring how throughput and worst-case force
-latency degrade while the client's keep-alive probes detect the hang
-and switch to the spare.
+Knobs (environment):
+
+- ``REPRO_RT_SMOKE=1`` — short single-repeat run for CI;
+- ``REPRO_RT_DURATION`` — seconds per measured phase run;
+- ``REPRO_RT_CLIENTS`` — concurrent clients in the throughput phase;
+- ``REPRO_RT_REPEATS`` — interleaved A/B repeats (median of each arm);
+- ``REPRO_RT_MIN_SPEEDUP`` — fail if grouped/ungrouped median ratio
+  falls below this (the CI perf gate; ratios survive machine changes);
+- ``REPRO_RT_MIN_RECORDS_PER_SEC`` — optional absolute floor on the
+  grouped median (reference-hardware guard, off by default because
+  wall-clock throughput varies wildly across machines).
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import statistics
 import time
 
 from repro.core.config import ReplicationConfig
 from repro.rt.client import AsyncReplicatedLog
 from repro.rt.cluster import LoopbackCluster
-from repro.rt.loadgen import run_loadgen, run_loadgen_sync
+from repro.rt.loadgen import (
+    MultiLoadReport,
+    run_loadgen,
+    run_loadgen_sync,
+    run_multi_loadgen_sync,
+)
 
 from ._emit import emit, emit_json, emit_table
 
 SMOKE = bool(os.environ.get("REPRO_RT_SMOKE"))
 CHAOS = bool(os.environ.get("REPRO_RT_CHAOS"))
-DURATION_S = 2.0 if SMOKE else 10.0
+DURATION_S = float(os.environ.get("REPRO_RT_DURATION",
+                                  "2" if SMOKE else "8"))
+CLIENTS = int(os.environ.get("REPRO_RT_CLIENTS", "2" if SMOKE else "8"))
+REPEATS = int(os.environ.get("REPRO_RT_REPEATS", "1" if SMOKE else "3"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_RT_MIN_SPEEDUP", "0"))
+MIN_RECORDS_PER_SEC = float(
+    os.environ.get("REPRO_RT_MIN_RECORDS_PER_SEC", "0"))
 SERVERS = 3
 COPIES = 2
 DELTA = 8
@@ -46,40 +74,96 @@ KEEPALIVE_MISSES = 2
 CLIENT_TIMEOUT_S = 4.0
 
 
-def test_bench_real_runtime(tmp_path):
-    start = time.perf_counter()
-    with LoopbackCluster(tmp_path, num_servers=SERVERS) as cluster:
-        config = ReplicationConfig(total_servers=SERVERS, copies=COPIES,
-                                   delta=DELTA)
-        report = run_loadgen_sync(
-            cluster.addresses(), config,
-            client_id="bench", duration_s=DURATION_S,
+def _config() -> ReplicationConfig:
+    return ReplicationConfig(total_servers=SERVERS, copies=COPIES,
+                             delta=DELTA)
+
+
+def _throughput_run(root: str, *, group_commit: bool) -> MultiLoadReport:
+    """One fresh cluster + ``CLIENTS`` closed-loop clients."""
+    args = [] if group_commit else ["--no-group-commit"]
+    with LoopbackCluster(root, num_servers=SERVERS,
+                         server_args=args) as cluster:
+        report = run_multi_loadgen_sync(
+            cluster.addresses(), _config(),
+            clients=CLIENTS, duration_s=DURATION_S,
         )
     assert report.transactions > 0
     assert report.records_written == report.transactions * 7
-    assert report.server_switches == 0  # nobody was killed
+    return report
+
+
+def test_bench_real_runtime(tmp_path):
+    start = time.perf_counter()
+
+    # Phase 1: light load — one client, group-commit servers.
+    with LoopbackCluster(os.path.join(tmp_path, "light"),
+                         num_servers=SERVERS) as cluster:
+        light = run_loadgen_sync(
+            cluster.addresses(), _config(),
+            client_id="bench", duration_s=DURATION_S,
+        )
+    assert light.transactions > 0
+    assert light.records_written == light.transactions * 7
+    assert light.server_switches == 0  # nobody was killed
+
+    # Phase 2: interleaved A/B — inline fsync vs shared group commit.
+    before_rps: list[float] = []
+    after_rps: list[float] = []
+    for i in range(REPEATS):
+        before = _throughput_run(
+            os.path.join(tmp_path, f"before-{i}"), group_commit=False)
+        after = _throughput_run(
+            os.path.join(tmp_path, f"after-{i}"), group_commit=True)
+        before_rps.append(before.records_per_sec)
+        after_rps.append(after.records_per_sec)
+        emit(f"repeat {i + 1}/{REPEATS}: inline "
+             f"{before.records_per_sec:.0f} rec/s vs grouped "
+             f"{after.records_per_sec:.0f} rec/s")
+    before_median = statistics.median(before_rps)
+    after_median = statistics.median(after_rps)
+    speedup = after_median / before_median if before_median else 0.0
 
     emit_table(
         ["quantity", "value"],
         [
-            ("transactions", report.transactions),
-            ("records/sec", f"{report.records_per_sec:.0f}"),
-            ("txns/sec", f"{report.txns_per_sec:.0f}"),
-            ("force p50 (ms)", f"{report.force_p50_ms:.3f}"),
-            ("force p99 (ms)", f"{report.force_p99_ms:.3f}"),
+            ("light-load txns", light.transactions),
+            ("light-load records/sec", f"{light.records_per_sec:.0f}"),
+            ("light-load force p50 (ms)", f"{light.force_p50_ms:.3f}"),
+            ("light-load force p99 (ms)", f"{light.force_p99_ms:.3f}"),
+            (f"{CLIENTS}-client inline fsync rec/s (median)",
+             f"{before_median:.0f}"),
+            (f"{CLIENTS}-client group commit rec/s (median)",
+             f"{after_median:.0f}"),
+            ("group-commit speedup", f"{speedup:.2f}x"),
         ],
         title=(f"Real runtime — ET1 over {SERVERS} server processes "
-               f"(N={COPIES}, loopback TCP, {DURATION_S:.0f}s)"),
+               f"(N={COPIES}, loopback TCP, {DURATION_S:.0f}s/run, "
+               f"{REPEATS} interleaved repeats)"),
     )
     emit("\nloopback != 10 Mbit/s LAN: software-overhead floor, "
          "not the paper's capacity figure")
 
     metrics = {
-        "transactions": report.transactions,
-        "records_per_sec": round(report.records_per_sec, 3),
-        "txns_per_sec": round(report.txns_per_sec, 3),
-        "force_p50_ms": round(report.force_p50_ms, 3),
-        "force_p99_ms": round(report.force_p99_ms, 3),
+        "light_load": {
+            "transactions": light.transactions,
+            "records_per_sec": round(light.records_per_sec, 3),
+            "txns_per_sec": round(light.txns_per_sec, 3),
+            "force_p50_ms": round(light.force_p50_ms, 3),
+            "force_p99_ms": round(light.force_p99_ms, 3),
+        },
+        "throughput": {
+            "clients": CLIENTS,
+            "inline_fsync_rps": [round(v, 3) for v in before_rps],
+            "group_commit_rps": [round(v, 3) for v in after_rps],
+            "inline_fsync_median_rps": round(before_median, 3),
+            "group_commit_median_rps": round(after_median, 3),
+            "speedup": round(speedup, 3),
+        },
+        # Back-compat headline for the performance trajectory.
+        "records_per_sec": round(after_median, 3),
+        "force_p50_ms": round(light.force_p50_ms, 3),
+        "force_p99_ms": round(light.force_p99_ms, 3),
     }
     if CHAOS:
         metrics["chaos"] = _run_chaos_phase(tmp_path)
@@ -90,12 +174,26 @@ def test_bench_real_runtime(tmp_path):
             "copies": COPIES,
             "delta": DELTA,
             "duration_s": DURATION_S,
+            "clients": CLIENTS,
+            "repeats": REPEATS,
             "smoke": SMOKE,
             "chaos": CHAOS,
         },
         "metrics": metrics,
         "wall_seconds": time.perf_counter() - start,
     })
+
+    if MIN_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"group commit speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP:.2f}x gate (inline {before_median:.0f} vs "
+            f"grouped {after_median:.0f} rec/s)"
+        )
+    if MIN_RECORDS_PER_SEC:
+        assert after_median >= MIN_RECORDS_PER_SEC, (
+            f"grouped median {after_median:.0f} rec/s below the "
+            f"{MIN_RECORDS_PER_SEC:.0f} rec/s floor"
+        )
 
 
 def _run_chaos_phase(tmp_path) -> dict:
@@ -106,8 +204,7 @@ def _run_chaos_phase(tmp_path) -> dict:
     the spare.  Truncation rounds every 50 transactions keep Section
     5.3 in the loop as well.
     """
-    config = ReplicationConfig(total_servers=SERVERS, copies=COPIES,
-                               delta=DELTA)
+    config = _config()
     chaos_root = os.path.join(tmp_path, "chaos")
 
     async def run(cluster: LoopbackCluster):

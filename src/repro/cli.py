@@ -171,14 +171,17 @@ def _cmd_restart(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .rt.eventloop import install_loop_backend
     from .rt.server import run_server
 
+    install_loop_backend(args.loop)
     try:
         asyncio.run(run_server(
             args.data_dir, args.server_id, args.host, args.port,
             compact_watermark_bytes=args.compact_watermark_bytes,
             fault_plan=args.fault_plan,
             fault_trace=args.fault_trace,
+            group_commit=not args.no_group_commit,
         ))
     except KeyboardInterrupt:
         pass
@@ -201,8 +204,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json
 
     from .core.config import ReplicationConfig
+    from .rt.eventloop import install_loop_backend
     from .rt.loadgen import run_loadgen_sync, run_multi_loadgen_sync
 
+    install_loop_backend(args.loop)
     servers = dict(_parse_server_arg(s) for s in args.server)
     config = ReplicationConfig(total_servers=len(servers),
                                copies=args.copies, delta=args.delta)
@@ -413,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-trace", default=None, metavar="PATH",
                    help="append every storage I/O point this daemon hits "
                         "to PATH (crash-point enumeration)")
+    p.add_argument("--no-group-commit", action="store_true",
+                   help="disable the shared one-fsync-per-group commit "
+                        "path (each ForceLog appends and fsyncs inline; "
+                        "the perf baseline for A/B benchmarks)")
+    p.add_argument("--loop", default="asyncio",
+                   choices=["asyncio", "uvloop"],
+                   help="event-loop backend (uvloop is optional and "
+                        "must be installed; default asyncio)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -435,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "this many transactions (default off)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of a table")
+    p.add_argument("--loop", default="asyncio",
+                   choices=["asyncio", "uvloop"],
+                   help="event-loop backend (uvloop is optional and "
+                        "must be installed; default asyncio)")
     p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser(

@@ -182,6 +182,15 @@ class MergedIntervalMap:
             return
         self._note_range(lsn, lsn, epoch, server_id)
 
+    def note_range(self, lo: LSN, hi: LSN, epoch: Epoch,
+                   server_id: str) -> None:
+        """Record that ``server_id`` stores ``⟨lsn, epoch⟩`` for every
+        LSN in ``[lo, hi]`` — one boundary-arithmetic merge instead of
+        ``hi - lo + 1`` :meth:`note` calls (the post-force bookkeeping
+        of a whole acknowledged window).
+        """
+        self._note_range(lo, hi, epoch, server_id)
+
     def _note_range(self, lo: LSN, hi: LSN, epoch: Epoch,
                     server_id: str) -> None:
         """Apply the per-LSN merge rule to every LSN in ``[lo, hi]``.

@@ -245,13 +245,19 @@ class LogServerStore:
         state.append(record)
         self.write_ops += 1
 
-    def server_write_record(self, client_id: str, record: StoredRecord) -> None:
+    def server_write_record(self, client_id: str,
+                            record: StoredRecord) -> bool:
         """ServerWriteLog taking a ready :class:`StoredRecord`.
 
         Stored records are immutable and already enforce the
         present/data invariant, so the simulated server keeps the
         caller's object instead of rebuilding an identical one — this
         is the per-record hot path of the target-load experiment.
+
+        Returns ``True`` when the record was newly stored, ``False``
+        when it was dropped as a duplicate retransmission (or a late
+        retransmission of a reclaimed record) — so the durable layer
+        can decide whether to append without a second lookup.
         """
         self._check_up()
         state = self._clients.get(client_id)
@@ -260,12 +266,12 @@ class LogServerStore:
         lsn = record.lsn
         epoch = record.epoch
         if lsn < state.truncated_below:
-            return  # late retransmission of a reclaimed record
+            return False  # late retransmission of a reclaimed record
         existing = state._by_lsn.get(lsn)
         if existing is not None and existing.epoch == epoch:
             if existing.present == record.present \
                     and existing.data == record.data:
-                return  # duplicate retransmission
+                return False  # duplicate retransmission
             raise ProtocolError(
                 f"conflicting rewrite of ⟨{lsn},{epoch}⟩ "
                 f"on {self.server_id}"
@@ -298,6 +304,7 @@ class LogServerStore:
         else:
             runs.append([epoch, lsn, lsn])
         self.write_ops += 1
+        return True
 
     def server_read_log(self, client_id: str, lsn: LSN) -> StoredRecord:
         """ServerReadLog: highest-epoch record with the requested LSN.

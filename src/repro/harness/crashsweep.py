@@ -6,7 +6,8 @@ between two I/O operations.  This harness checks that literally:
 
 1. **Enumerate** — run a scripted workload (appends + group forces,
    generator writes, §5.3 truncation with and without compaction, a
-   CopyLog/InstallCopies cycle) against a :class:`FileLogStore` whose
+   CopyLog/InstallCopies cycle, a cross-client group-commit fsync at
+   site ``log.group-fsync``) against a :class:`FileLogStore` whose
    I/O backend is a *recording* :class:`~repro.rt.faultfs.FaultInjector`;
    every ``site:index`` pair hit is one crash point.
 2. **Sweep** — re-run the same workload once per (point, action) in a
@@ -150,7 +151,9 @@ def _payloads(seed: int) -> dict:
     table = {}
     for cid, lsns, epoch in (("cw", range(1, 23), 1),
                              ("cr", range(1, 5), 1),
-                             ("cr", range(1, 4), 2)):
+                             ("cr", range(1, 4), 2),
+                             ("cw", range(23, 25), 1),
+                             ("cr", range(5, 7), 2)):
         for lsn in lsns:
             table[(cid, lsn, epoch)] = (
                 f"{cid}.{lsn}.{epoch}.".encode()
@@ -252,6 +255,22 @@ def _store_workload(store: FileLogStore, journal: _Journal,
     journal.attempted_gen = 77
     store.generator_write(77)
     journal.durable_gen = 77
+    # Group commit: two clients' force batches ride one shared fsync
+    # (site ``log.group-fsync``, the server's one-fsync-per-group
+    # path).  Neither ack is issued until the covering sync returns,
+    # so a crash inside it must lose both batches without fabricating
+    # an ack for either parked client.
+    batch_w = tuple(_rec(payloads, "cw", i) for i in (23, 24))
+    batch_r = tuple(_rec(payloads, "cr", i, epoch=2) for i in (5, 6))
+    for record in batch_w:
+        journal.attempt("cw", record)
+    for record in batch_r:
+        journal.attempt("cr", record)
+    store.append_records("cw", batch_w, fsync=False)
+    store.append_records("cr", batch_r, fsync=False)
+    store.sync(site="log.group-fsync")
+    journal.ack_records("cw", batch_w)
+    journal.ack_records("cr", batch_r)
 
 
 # -- verification ------------------------------------------------------------
@@ -432,7 +451,7 @@ def _actions_for(site: str, *, quick: bool, first: bool) -> list[str]:
             actions += ["short-write", "bit-flip"]
     if not quick or first:
         actions.append("eio")
-    if site == "log.fsync" and first:
+    if site in ("log.fsync", "log.group-fsync") and first:
         actions.append("enospc")
     return actions
 
@@ -574,8 +593,9 @@ def _daemon_case(root: Path, index: int, point: str) -> CrashCase:
 def _select_daemon_points(trace: list[str], *, quick: bool) -> list[str]:
     """First hit of each interesting site, bounded for the CI smoke."""
     wanted = ("dir.create-sync", "log.write.record", "log.fsync",
-              "log.write.generator", "log.write.staged",
-              "log.write.install", "log.write.truncate")
+              "log.group-fsync", "log.write.generator",
+              "log.write.staged", "log.write.install",
+              "log.write.truncate")
     first: dict[str, str] = {}
     for point in trace:
         site = point.rsplit(":", 1)[0]

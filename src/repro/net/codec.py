@@ -44,7 +44,12 @@ import struct
 import zlib
 
 from ..core.intervals import Interval
-from ..core.records import StoredRecord
+from ..core.records import (
+    FIRST_EPOCH,
+    FIRST_LSN,
+    StoredRecord,
+    trusted_stored_record,
+)
 from .messages import (
     MESSAGE_HEADER_BYTES,
     RECORD_HEADER_BYTES,
@@ -163,12 +168,24 @@ def _check_u32(value: int, what: str) -> int:
     return value
 
 
+#: validated-id cache: every message of a connection's lifetime carries
+#: the same few client ids; bounded so a hostile id stream cannot grow
+#: it without limit.
+_CID_CACHE: dict[str, bytes] = {}
+_CID_CACHE_MAX = 4096
+
+
 def _encode_client_id(client_id: str) -> bytes:
+    raw = _CID_CACHE.get(client_id)
+    if raw is not None:
+        return raw
     raw = client_id.encode("utf-8")
     if len(raw) > MAX_CLIENT_ID_BYTES:
         raise WireCodecError(
             f"client id {client_id!r} exceeds {MAX_CLIENT_ID_BYTES} bytes"
         )
+    if len(_CID_CACHE) < _CID_CACHE_MAX:
+        _CID_CACHE[client_id] = raw
     return raw
 
 
@@ -205,7 +222,12 @@ def encode_stored_record(record: StoredRecord) -> bytes:
 
 
 def decode_stored_record(buf: bytes, offset: int) -> tuple[StoredRecord, int]:
-    """Decode one record at ``offset``; return it and the next offset."""
+    """Decode one record at ``offset``; return it and the next offset.
+
+    Field validation (the :class:`StoredRecord` invariants) is inlined
+    and the record built through the trusted constructor: this runs
+    once per record on both server receive and recovery replay.
+    """
     end = offset + RECORD_HEADER_BYTES
     if end > len(buf):
         raise WireCodecError("truncated record header")
@@ -219,39 +241,62 @@ def decode_stored_record(buf: bytes, offset: int) -> tuple[StoredRecord, int]:
     kind = CODE_KINDS.get(kind_code)
     if kind is None:
         raise WireCodecError(f"unknown record kind code {kind_code}")
-    try:
-        record = StoredRecord(lsn=lsn, epoch=epoch,
-                              present=bool(flags & _PRESENT_FLAG),
-                              data=data, kind=kind)
-    except ValueError as exc:
-        raise WireCodecError(str(exc)) from exc
-    return record, end + dlen
+    present = bool(flags & _PRESENT_FLAG)
+    if lsn < FIRST_LSN:
+        raise WireCodecError(f"LSN must be >= {FIRST_LSN}, got {lsn}")
+    if epoch < FIRST_EPOCH:
+        raise WireCodecError(f"epoch must be >= {FIRST_EPOCH}, got {epoch}")
+    if not present and data:
+        raise WireCodecError("a not-present record must not carry data")
+    return trusted_stored_record(lsn, epoch, present, data, kind), end + dlen
 
 
 def _encode_records(records: tuple[StoredRecord, ...]) -> bytes:
     return b"".join(encode_stored_record(r) for r in records)
 
 
-def _decode_records(buf: bytes, offset: int) -> tuple[StoredRecord, ...]:
+def _decode_records(buf: bytes, offset: int,
+                    images: list[bytes] | None = None,
+                    ) -> tuple[StoredRecord, ...]:
     records = []
     while offset < len(buf):
-        record, offset = decode_stored_record(buf, offset)
+        record, end = decode_stored_record(buf, offset)
+        if images is not None:
+            # The CRC-checked wire image, byte-compatible with
+            # ``encode_stored_record`` — the server appends these to
+            # disk directly instead of re-encoding every record.
+            images.append(bytes(buf[offset:end]))
         records.append(record)
+        offset = end
     return tuple(records)
 
 
 # -- messages ---------------------------------------------------------------
 
 
-def encode(msg: Message) -> bytes:
-    """Encode ``msg``; the result is exactly ``msg.wire_size`` bytes."""
+def _message_parts(
+    msg: Message,
+    record_bufs: list[bytes] | None = None,
+) -> list[bytes]:
+    """Encode ``msg`` as a list of buffers: ``[header, *body_parts]``.
+
+    The concatenation of the parts is exactly ``encode(msg)``.  For
+    record-bearing messages each record is its own part (suitable for a
+    scatter-gather ``writelines``), and ``record_bufs`` may supply
+    already-encoded record images — the encode-once cache the client
+    keeps alongside its window — instead of re-encoding ``msg.records``.
+    """
     epoch = a = b = 0
-    body = b""
+    body: list[bytes] = []
     # ForceLogMsg subclasses WriteLogMsg: test it first.
     if isinstance(msg, ForceLogMsg):
-        mtype, epoch, body = T_FORCE_LOG, msg.epoch, _encode_records(msg.records)
+        mtype, epoch = T_FORCE_LOG, msg.epoch
+        body = record_bufs if record_bufs is not None else [
+            encode_stored_record(r) for r in msg.records]
     elif isinstance(msg, WriteLogMsg):
-        mtype, epoch, body = T_WRITE_LOG, msg.epoch, _encode_records(msg.records)
+        mtype, epoch = T_WRITE_LOG, msg.epoch
+        body = record_bufs if record_bufs is not None else [
+            encode_stored_record(r) for r in msg.records]
     elif isinstance(msg, NewIntervalMsg):
         mtype, epoch, a = T_NEW_INTERVAL, msg.epoch, msg.starting_lsn
     elif isinstance(msg, NewHighLSNMsg):
@@ -262,26 +307,31 @@ def encode(msg: Message) -> bytes:
         mtype = T_INTERVAL_LIST_CALL
     elif isinstance(msg, IntervalListReply):
         mtype = T_INTERVAL_LIST_REPLY
-        body = b"".join(
+        body = [
             _INTERVAL.pack(_check_u32(i.epoch, "epoch"),
                            _check_u32(i.lo, "interval lo"),
                            _check_u32(i.hi, "interval hi"))
             for i in msg.intervals
-        )
+        ]
     elif isinstance(msg, ReadLogForwardCall):
         mtype, a = T_READ_LOG_FORWARD, msg.lsn
     elif isinstance(msg, ReadLogBackwardCall):
         mtype, a = T_READ_LOG_BACKWARD, msg.lsn
     elif isinstance(msg, ReadLogReply):
-        mtype, body = T_READ_LOG_REPLY, _encode_records(msg.records)
+        mtype = T_READ_LOG_REPLY
+        body = record_bufs if record_bufs is not None else [
+            encode_stored_record(r) for r in msg.records]
     elif isinstance(msg, CopyLogCall):
-        mtype, epoch, body = T_COPY_LOG, msg.epoch, _encode_records(msg.records)
+        mtype, epoch = T_COPY_LOG, msg.epoch
+        body = record_bufs if record_bufs is not None else [
+            encode_stored_record(r) for r in msg.records]
     elif isinstance(msg, InstallCopiesCall):
         mtype, epoch = T_INSTALL_COPIES, msg.epoch
     elif isinstance(msg, AckReply):
         mtype, a = T_ACK, int(msg.ok)
     elif isinstance(msg, ErrorReply):
-        mtype, a, body = T_ERROR, msg.code, msg.reason.encode("utf-8")
+        mtype, a = T_ERROR, msg.code
+        body = [msg.reason.encode("utf-8")]
     elif isinstance(msg, PingMsg):
         mtype, a = T_PING, msg.token
     elif isinstance(msg, PongMsg):
@@ -294,7 +344,7 @@ def encode(msg: Message) -> bytes:
         mtype = T_STATS_CALL
     elif isinstance(msg, StatsReply):
         mtype = T_STATS_REPLY
-        body = struct.pack(f"!{len(msg.counters)}Q", *msg.counters)
+        body = [struct.pack(f"!{len(msg.counters)}Q", *msg.counters)]
     elif isinstance(msg, GeneratorReadCall):
         mtype = T_GENERATOR_READ_CALL
     elif isinstance(msg, GeneratorReadReply):
@@ -313,17 +363,61 @@ def encode(msg: Message) -> bytes:
         _check_u32(epoch, "epoch"), _check_u32(a, "field a"),
         _check_u32(b, "field b"),
     )
-    encoded = header + body
-    if len(encoded) != msg.wire_size:
-        raise WireCodecError(
-            f"{type(msg).__name__} encoded to {len(encoded)} bytes but "
-            f"declares wire_size {msg.wire_size}"
-        )
-    return encoded
+    if record_bufs is None:
+        # Cross-check freshly encoded parts against the declared size.
+        # Caller-supplied record images skip this: ``wire_size``
+        # re-walks every record, and the images are the same bytes the
+        # encode path produces (the codec property tests pin this).
+        total = MESSAGE_HEADER_BYTES + sum(len(part) for part in body)
+        if total != msg.wire_size:
+            raise WireCodecError(
+                f"{type(msg).__name__} encoded to {total} bytes but "
+                f"declares wire_size {msg.wire_size}"
+            )
+    return [header, *body]
 
 
-def decode(buf: bytes) -> Message:
-    """Decode one encoded message (the payload of one frame)."""
+def encode(msg: Message) -> bytes:
+    """Encode ``msg``; the result is exactly ``msg.wire_size`` bytes."""
+    parts = _message_parts(msg)
+    if len(parts) == 1:
+        return parts[0]
+    return b"".join(parts)
+
+
+def encode_iov(msg: Message,
+               record_bufs: list[bytes] | None = None) -> list[bytes]:
+    """Encode ``msg`` as an iovec — buffers that concatenate to
+    ``encode(msg)`` without an intermediate join.
+
+    ``record_bufs`` optionally supplies pre-encoded record images
+    (``encode_stored_record`` output, one per ``msg.records`` entry, in
+    order) so a hot sender never encodes a record twice; the total
+    length is still validated against ``msg.wire_size``.
+    """
+    return _message_parts(msg, record_bufs)
+
+
+def encode_into(msg: Message, buf: bytearray) -> int:
+    """Append ``encode(msg)`` to ``buf``; return the bytes appended."""
+    before = len(buf)
+    for part in _message_parts(msg):
+        buf += part
+    return len(buf) - before
+
+
+def decode(buf, record_images: list[bytes] | None = None) -> Message:
+    """Decode one encoded message (the payload of one frame).
+
+    Accepts any buffer — ``bytes``, ``bytearray``, or a ``memoryview``
+    slice of a persistent receive buffer (:class:`FrameReader`); only
+    record payloads and text fields are copied out.
+
+    ``record_images``, when given, collects the raw CRC-checked wire
+    image of each record of a WriteLog/ForceLog — byte-compatible with
+    :func:`encode_stored_record`, so the server's append path can write
+    the wire bytes straight to disk without re-encoding.
+    """
     if len(buf) < MESSAGE_HEADER_BYTES:
         raise WireCodecError(f"message shorter than header: {len(buf)} bytes")
     magic, mtype, version, cid_raw, epoch, a, b = _HEADER.unpack_from(buf, 0)
@@ -335,9 +429,11 @@ def decode(buf: bytes) -> Message:
     off = MESSAGE_HEADER_BYTES
     try:
         if mtype == T_WRITE_LOG:
-            return WriteLogMsg(client_id, epoch, _decode_records(buf, off))
+            return WriteLogMsg(client_id, epoch,
+                               _decode_records(buf, off, record_images))
         if mtype == T_FORCE_LOG:
-            return ForceLogMsg(client_id, epoch, _decode_records(buf, off))
+            return ForceLogMsg(client_id, epoch,
+                               _decode_records(buf, off, record_images))
         if mtype == T_NEW_INTERVAL:
             return NewIntervalMsg(client_id, epoch, a)
         if mtype == T_NEW_HIGH_LSN:
@@ -367,7 +463,8 @@ def decode(buf: bytes) -> Message:
         if mtype == T_ACK:
             return AckReply(client_id, bool(a))
         if mtype == T_ERROR:
-            return ErrorReply(client_id, buf[off:].decode("utf-8"), code=a)
+            return ErrorReply(client_id, bytes(buf[off:]).decode("utf-8"),
+                              code=a)
         if mtype == T_PING:
             return PingMsg(client_id, token=a)
         if mtype == T_PONG:
@@ -405,6 +502,48 @@ def frame(msg: Message) -> bytes:
     return _FRAME_PREFIX.pack(len(payload)) + payload
 
 
+#: all fixed-size header-only frames are MESSAGE_HEADER_BYTES long.
+_HEADER_FRAME_PREFIX = _FRAME_PREFIX.pack(MESSAGE_HEADER_BYTES)
+
+
+def frame_new_high_lsn(client_id: str, new_high_lsn: int) -> bytes:
+    """The NewHighLSN ack, framed, in one pack — the group-commit
+    fan-out sends one of these per parked force, so it skips the
+    generic ``frame(NewHighLSNMsg(...))`` dispatch.  Byte-identical to
+    ``frame(NewHighLSNMsg(client_id, new_high_lsn))``.
+    """
+    return _HEADER_FRAME_PREFIX + _HEADER.pack(
+        MESSAGE_MAGIC, T_NEW_HIGH_LSN, WIRE_VERSION,
+        _encode_client_id(client_id), 0,
+        _check_u32(new_high_lsn, "new high LSN"), 0,
+    )
+
+
+def frame_iov(msg: Message,
+              record_bufs: list[bytes] | None = None) -> list[bytes]:
+    """Length-prefixed frame as an iovec for ``writer.writelines``.
+
+    The first buffer is the 4-byte prefix fused with the 32-byte
+    message header (they are always sent together); the rest are the
+    body parts — per-record images for record-bearing messages, shared
+    unchanged across every connection that sends the same frame.
+    """
+    parts = encode_iov(msg, record_bufs)
+    payload_len = sum(len(part) for part in parts)
+    return [_FRAME_PREFIX.pack(payload_len) + parts[0], *parts[1:]]
+
+
+def frame_into(msg: Message, buf: bytearray) -> int:
+    """Append ``frame(msg)`` to ``buf``; return the bytes appended."""
+    parts = _message_parts(msg)
+    payload_len = sum(len(part) for part in parts)
+    before = len(buf)
+    buf += _FRAME_PREFIX.pack(payload_len)
+    for part in parts:
+        buf += part
+    return len(buf) - before
+
+
 async def read_message(reader: asyncio.StreamReader) -> Message | None:
     """Read one framed message; ``None`` on clean EOF at a frame edge."""
     try:
@@ -421,3 +560,127 @@ async def read_message(reader: asyncio.StreamReader) -> Message | None:
     except asyncio.IncompleteReadError as exc:
         raise WireCodecError("stream ended inside a frame") from exc
     return decode(payload)
+
+
+# -- persistent receive buffers ---------------------------------------------
+
+#: Bytes requested per socket read by :class:`FrameReader` — large
+#: enough to swallow many back-to-back frames in one syscall.
+RECV_CHUNK_BYTES = 256 * 1024
+#: Consumed-prefix size beyond which a :class:`FrameReader` compacts
+#: its buffer (sooner if the buffer is fully drained, which is free).
+_COMPACT_THRESHOLD = 128 * 1024
+
+_NEED_MORE = object()
+
+
+class BufferPool:
+    """A small free-list of ``bytearray`` scratch buffers.
+
+    Receive paths churn through buffers at connection granularity;
+    recycling them here keeps long-running daemons from re-growing a
+    fresh ``bytearray`` past the high-water mark for every connection.
+    """
+
+    def __init__(self, max_buffers: int = 8):
+        self.max_buffers = max_buffers
+        self._free: list[bytearray] = []
+
+    def acquire(self) -> bytearray:
+        if self._free:
+            return self._free.pop()
+        return bytearray()
+
+    def release(self, buf: bytearray) -> None:
+        if len(self._free) >= self.max_buffers:
+            return
+        try:
+            buf.clear()
+        except BufferError:
+            # A live memoryview export (e.g. held by the traceback of a
+            # decode error) pins the buffer; let it go instead of pooling.
+            return
+        self._free.append(buf)
+
+
+#: Module-level pool shared by default across FrameReaders in a process.
+DEFAULT_POOL = BufferPool()
+
+
+class FrameReader:
+    """Frame parser over a persistent receive buffer.
+
+    One socket read refills the buffer with up to ``RECV_CHUNK_BYTES``;
+    every complete frame already buffered is then parsed without
+    touching the socket again, each decoded from a ``memoryview`` slice
+    so no per-frame payload copy is made.  This replaces the two
+    ``readexactly`` calls (and two allocations) per frame of
+    :func:`read_message` on the hot paths of ``rt.server`` and
+    ``rt.client``.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, *,
+                 pool: BufferPool | None = None,
+                 max_frame: int = MAX_FRAME_BYTES):
+        self._reader = reader
+        self._pool = pool if pool is not None else DEFAULT_POOL
+        self._buf = self._pool.acquire()
+        self._pos = 0
+        self._max_frame = max_frame
+        self._eof = False
+        #: frames parsed since construction (observability / tests)
+        self.frames_decoded = 0
+
+    async def read_message(
+        self, record_images: list[bytes] | None = None,
+    ) -> Message | None:
+        """Next framed message; ``None`` on clean EOF at a frame edge.
+
+        ``record_images`` is forwarded to :func:`decode`: the server
+        passes a scratch list here to capture each WriteLog/ForceLog
+        record's raw wire image for the zero-re-encode append path.
+        """
+        while True:
+            msg = self._parse_one(record_images)
+            if msg is not _NEED_MORE:
+                return msg
+            if self._eof:
+                if len(self._buf) - self._pos:
+                    raise WireCodecError("stream ended inside a frame")
+                return None
+            chunk = await self._reader.read(RECV_CHUNK_BYTES)
+            if not chunk:
+                self._eof = True
+            else:
+                self._compact()
+                self._buf += chunk
+
+    def _parse_one(self, record_images: list[bytes] | None = None):
+        buf, pos = self._buf, self._pos
+        avail = len(buf) - pos
+        if avail < _FRAME_PREFIX.size:
+            return _NEED_MORE
+        (length,) = _FRAME_PREFIX.unpack_from(buf, pos)
+        if length < MESSAGE_HEADER_BYTES or length > self._max_frame:
+            raise WireCodecError(f"implausible frame length {length}")
+        start = pos + _FRAME_PREFIX.size
+        if len(buf) - start < length:
+            return _NEED_MORE
+        with memoryview(buf) as view:
+            msg = decode(view[start:start + length], record_images)
+        self._pos = start + length
+        self.frames_decoded += 1
+        return msg
+
+    def _compact(self) -> None:
+        """Drop the consumed prefix once it is worth the memmove."""
+        if self._pos and (self._pos >= len(self._buf)
+                          or self._pos >= _COMPACT_THRESHOLD):
+            del self._buf[:self._pos]
+            self._pos = 0
+
+    def close(self) -> None:
+        """Return the receive buffer to the pool."""
+        self._pool.release(self._buf)
+        self._buf = bytearray()
+        self._pos = 0

@@ -82,6 +82,22 @@ class WriteLogMsg(Message):
             raise ValueError("WriteLog carries at least one record")
         _check_consecutive(self.records, self.epoch)
 
+    @classmethod
+    def trusted(cls, client_id: str, epoch: Epoch,
+                records: tuple[StoredRecord, ...]):
+        """Build without re-validating ``records``.
+
+        For the client's own send path: it assigns consecutive LSNs
+        and a uniform epoch by construction, so the ``__post_init__``
+        scan over the batch is pure overhead there.  Anything arriving
+        off the wire still goes through the validating constructor.
+        """
+        msg = cls.__new__(cls)
+        msg.client_id = client_id
+        msg.epoch = epoch
+        msg.records = records
+        return msg
+
     @property
     def wire_size(self) -> int:
         return MESSAGE_HEADER_BYTES + records_wire_size(self.records)
@@ -317,6 +333,11 @@ STATS_COUNTERS: tuple[str, ...] = (
     "injected_faults",     # faults the I/O backend injected (chaos runs)
     "recovery_replays",    # entries replayed from log.dat at last start
     "crc_rejections",      # complete-but-corrupt entries CRC rejected
+    # group-commit observability (appended: old replies simply lack them)
+    "fsyncs",              # log-file fsyncs issued, per-entry and grouped
+    "records_per_fsync",   # records_appended // fsyncs — the batching win
+    "forces_coalesced",    # forces that rode a shared group fsync
+    "send_iovecs",         # buffers handed to vectored reply writes
 )
 
 

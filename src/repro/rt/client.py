@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Awaitable, Callable, Iterable, Mapping
+from typing import Awaitable, Callable, Mapping
 
 from ..core.config import ReplicationConfig
 from ..core.errors import (
@@ -60,11 +60,16 @@ from ..core.errors import (
 )
 from ..core.epoch import read_quorum_size, write_quorum_size
 from ..core.intervals import MergedIntervalMap, ServerIntervals
-from ..core.records import Epoch, LogRecord, LSN, StoredRecord
+from ..core.records import (
+    Epoch,
+    LogRecord,
+    LSN,
+    StoredRecord,
+    trusted_stored_record,
+)
 from ..core.retry import RetryPolicy
-from ..net.codec import frame, read_message
+from ..net.codec import FrameReader, encode_stored_record, frame, frame_iov
 from ..net.messages import (
-    RECORD_HEADER_BYTES,
     CopyLogCall,
     ErrorReply,
     ForceLogMsg,
@@ -138,7 +143,9 @@ class ServerConnection:
         self._reader_task: asyncio.Task | None = None
         self._writer_task: asyncio.Task | None = None
         self._keepalive_task: asyncio.Task | None = None
-        self._sendq: asyncio.Queue[bytes] | None = None
+        #: queue entries are one frame each: either a single ``bytes``
+        #: or an iovec (``list[bytes]``) produced by ``frame_iov``.
+        self._sendq: asyncio.Queue[bytes | list[bytes]] | None = None
         self._pending: list[asyncio.Future] = []
         self._force_waiters: list[tuple[LSN, asyncio.Future]] = []
         self._last_rx: float = 0.0
@@ -149,6 +156,11 @@ class ServerConnection:
         self.queue_full_events = 0
         self.pings_sent = 0
         self.keepalive_aborts = 0
+        #: buffers handed to the transport (writelines iovec entries).
+        self.send_iovecs = 0
+        #: writelines+drain cycles — each covers every frame that was
+        #: queued when the writer task woke up.
+        self.send_batches = 0
 
     async def connect(self) -> None:
         loop = asyncio.get_running_loop()
@@ -173,9 +185,10 @@ class ServerConnection:
 
     async def _read_loop(self) -> None:
         loop = asyncio.get_running_loop()
+        frames = FrameReader(self._reader)
         try:
             while True:
-                msg = await read_message(self._reader)
+                msg = await frames.read_message()
                 if msg is None:
                     break
                 self._last_rx = loop.time()
@@ -194,20 +207,37 @@ class ServerConnection:
         except Exception:
             pass
         finally:
+            frames.close()
             self._abort("connection lost")
 
     async def _write_loop(self) -> None:
-        """Drain the send queue onto the socket, one frame at a time.
+        """Drain the send queue onto the socket in coalesced batches.
 
-        ``drain()`` may park here indefinitely when the peer stops
-        reading — that is the point: back-pressure stops at this task
-        and the bounded queue, and the keep-alive probe (or a call
-        timeout) decides when the connection is declared dead.
+        Each wakeup collects *every* queued frame, hands the flattened
+        iovec to one ``writelines`` call, and drains once — so back-to-
+        back WriteLog batches cost one syscall and one scheduling round
+        trip instead of one each.  ``drain()`` only actually parks when
+        the transport is above its high-water mark; when the peer stops
+        reading, back-pressure stops at this task and the bounded
+        queue, and the keep-alive probe (or a call timeout) decides
+        when the connection is declared dead.
         """
         try:
             while True:
-                buf = await self._sendq.get()
-                self._writer.write(buf)
+                item = await self._sendq.get()
+                bufs = [item] if isinstance(item, bytes) else list(item)
+                while True:
+                    try:
+                        item = self._sendq.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if isinstance(item, bytes):
+                        bufs.append(item)
+                    else:
+                        bufs.extend(item)
+                self._writer.writelines(bufs)
+                self.send_iovecs += len(bufs)
+                self.send_batches += 1
                 await self._writer.drain()
         except asyncio.CancelledError:
             raise
@@ -303,7 +333,7 @@ class ServerConnection:
         if not self.alive or self._sendq is None:
             raise ServerUnavailable(self.server_id, "not connected")
 
-    def _enqueue_nowait(self, buf: bytes) -> bool:
+    def _enqueue_nowait(self, buf: bytes | list[bytes]) -> bool:
         try:
             self._sendq.put_nowait(buf)
         except asyncio.QueueFull:
@@ -311,22 +341,40 @@ class ServerConnection:
             return False
         return True
 
-    def try_send(self, msg: Message) -> bool:
+    def queued_frames(self) -> int:
+        """Frames waiting in the send queue (the load signal adaptive
+        δ reads: a non-empty queue at force time means the writer task
+        is behind the workload)."""
+        return self._sendq.qsize() if self._sendq is not None else 0
+
+    def try_send(self, msg: Message,
+                 bufs: list[bytes] | None = None) -> bool:
         """Enqueue an asynchronous message without ever waiting.
 
         Returns ``False`` when the send queue is full — the slow-server
         signal; raises :class:`ServerUnavailable` when the connection
         is dead.  Used for WriteLog streaming, where skipping a batch
         is safe because the next force re-sends the whole window.
+        ``bufs`` may carry the frame pre-encoded as an iovec
+        (:func:`repro.net.codec.frame_iov`), shared unchanged across
+        every connection sending the same frame.
         """
         self._require_alive()
-        return self._enqueue_nowait(frame(msg))
+        return self._enqueue_nowait(bufs if bufs is not None else frame(msg))
 
-    async def send(self, msg: Message) -> None:
+    async def send(self, msg: Message,
+                   bufs: list[bytes] | None = None) -> None:
         """Enqueue a message, waiting (bounded) for queue space."""
         self._require_alive()
+        payload = bufs if bufs is not None else frame(msg)
         try:
-            await asyncio.wait_for(self._sendq.put(frame(msg)),
+            # Fast path: space available, no waiter machinery at all.
+            self._sendq.put_nowait(payload)
+            return
+        except asyncio.QueueFull:
+            pass
+        try:
+            await asyncio.wait_for(self._sendq.put(payload),
                                    self.timeout)
         except asyncio.TimeoutError as exc:
             self._abort("send queue stalled")
@@ -354,17 +402,27 @@ class ServerConnection:
             raise ServerUnavailable(self.server_id, reply.reason)
         return reply
 
-    async def force(self, msg: ForceLogMsg) -> LSN:
-        """Send a ForceLog and await its NewHighLSN acknowledgment."""
-        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+    async def force(self, msg: ForceLogMsg,
+                    bufs: list[bytes] | None = None) -> LSN:
+        """Send a ForceLog and await its NewHighLSN acknowledgment.
+
+        The timeout is a plain ``call_later`` handle — cancelled on the
+        (overwhelmingly common) timely ack — instead of an
+        ``asyncio.wait_for``, which would create and then tear down a
+        whole task per force.  A fired timeout aborts the connection,
+        which fails this future with :class:`ServerUnavailable` exactly
+        like the old path.
+        """
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
         self._force_waiters.append((msg.high_lsn, fut))
-        await self.send(msg)
+        await self.send(msg, bufs)
+        handle = loop.call_later(
+            self.timeout, self._abort, "force ack timed out")
         try:
-            return await asyncio.wait_for(fut, self.timeout)
-        except asyncio.TimeoutError as exc:
-            self._abort("force ack timed out")
-            raise ServerUnavailable(self.server_id,
-                                    "force ack timed out") from exc
+            return await fut
+        finally:
+            handle.cancel()
 
     async def close(self) -> None:
         self._abort("closed")
@@ -406,6 +464,73 @@ async def async_retry(
                 await on_retry(attempt)
             await asyncio.sleep(policy.delay(attempt, rng))
             attempt += 1
+
+
+class AdaptiveDelta:
+    """Frugal-batching controller for the client's effective δ.
+
+    ``config.delta`` is the protocol-safety ceiling — recovery copies
+    the last δ records, so the unacknowledged window may never exceed
+    it.  *Below* that ceiling the client is free to force earlier, and
+    this controller picks the operating point from load, in the spirit
+    of Taurus's frugal batching: heavy load rides windows at the
+    ceiling (amortizing each ack round trip over many records), while
+    sustained light load walks the trigger down toward ``min_delta`` so
+    a force never waits behind a deep window and p50 force latency
+    stays near the fsync floor.
+
+    Signals, observed once per completed force:
+
+    * ``queue_depth`` — frames still sitting in a send queue mean the
+      writer tasks are behind the workload: grow.
+    * the latency EWMA exceeding ``target_latency_s`` — acks are
+      already slow, so buy throughput with bigger batches: grow.
+    * a window at most half the current trigger, with fast acks, for
+      ``shrink_patience`` consecutive forces — demand is light: shrink
+      by one.
+
+    Growth doubles (load spikes should reach the ceiling in a few
+    forces); shrinking is linear with hysteresis so a burst does not
+    whipsaw the trigger.
+    """
+
+    def __init__(self, max_delta: int, *, min_delta: int = 1,
+                 target_latency_s: float = 0.002,
+                 shrink_patience: int = 4):
+        self.max_delta = max(1, max_delta)
+        self.min_delta = max(1, min(min_delta, self.max_delta))
+        self.target_latency_s = target_latency_s
+        self.shrink_patience = shrink_patience
+        #: the live implicit-force trigger, in [min_delta, max_delta].
+        self.effective = self.max_delta
+        self.latency_ewma_s = 0.0
+        self.grows = 0
+        self.shrinks = 0
+        self._light_streak = 0
+
+    def observe_force(self, latency_s: float, window_records: int,
+                      queue_depth: int) -> None:
+        """Feed one completed force's measurements into the controller."""
+        self.latency_ewma_s = latency_s if not self.latency_ewma_s else (
+            0.8 * self.latency_ewma_s + 0.2 * latency_s)
+        loaded = (queue_depth > 0
+                  or self.latency_ewma_s > self.target_latency_s
+                  or window_records >= self.effective)
+        if loaded:
+            self._light_streak = 0
+            if self.effective < self.max_delta:
+                self.effective = min(self.max_delta, self.effective * 2)
+                self.grows += 1
+            return
+        if (window_records <= self.effective // 2
+                and self.effective > self.min_delta):
+            self._light_streak += 1
+            if self._light_streak >= self.shrink_patience:
+                self.effective -= 1
+                self.shrinks += 1
+                self._light_streak = 0
+        else:
+            self._light_streak = 0
 
 
 class AsyncReplicatedLog:
@@ -465,7 +590,15 @@ class AsyncReplicatedLog:
         self._buffer: list[StoredRecord] = []
         #: records sent (or buffered) since the last fully-acked force.
         self._window: list[StoredRecord] = []
+        #: wire images of the above, encoded exactly once at write()
+        #: time and shared by every frame that carries the record.
+        self._buffer_enc: list[bytes] = []
+        self._window_enc: list[bytes] = []
+        self._buffer_bytes = 0
         self._last_record: StoredRecord | None = None
+        self._last_record_enc: bytes | None = None
+        #: adaptive implicit-force trigger (≤ config.delta, never more).
+        self.delta_controller = AdaptiveDelta(config.delta)
         # Bookkeeping for experiments and tests:
         self.writes_performed = 0
         self.forces_performed = 0
@@ -668,7 +801,12 @@ class AsyncReplicatedLog:
         self._write_set = installed
         self._buffer = []
         self._window = []
+        self._buffer_enc = []
+        self._window_enc = []
+        self._buffer_bytes = 0
         self._last_record = staged[-1] if staged else None
+        self._last_record_enc = (
+            encode_stored_record(staged[-1]) if staged else None)
 
     def _require_init(self) -> MergedIntervalMap:
         if self._merged is None:
@@ -689,21 +827,28 @@ class AsyncReplicatedLog:
         """
         self._require_init()
         lsn = self._next_lsn
-        record = StoredRecord(lsn=lsn, epoch=self._epoch, present=True,
-                              data=data, kind=kind)
+        # Trusted construction: the client assigns the LSN and epoch
+        # itself; ``encode_stored_record`` below still rejects an
+        # unregistered kind.
+        record = trusted_stored_record(lsn, self._epoch, True, data, kind)
         self._next_lsn = lsn + 1
         self._buffer.append(record)
+        # Encode once, here; every WriteLog/ForceLog frame that carries
+        # this record — to any server, any number of times — reuses
+        # these bytes.
+        enc = encode_stored_record(record)
+        self._buffer_enc.append(enc)
+        self._buffer_bytes += len(enc)
         self.writes_performed += 1
-        if len(self._window) + len(self._buffer) >= self.config.delta:
-            # δ unacknowledged records: must not run further ahead.
+        if (len(self._window) + len(self._buffer)
+                >= self.delta_controller.effective):
+            # δ unacknowledged records: must not run further ahead
+            # (adaptive δ only ever lowers this trigger below the
+            # configured protocol ceiling).
             await self.force()
-        elif self._batch_size(self._buffer) >= self.batch_bytes:
+        elif self._buffer_bytes >= self.batch_bytes:
             await self._flush_writes()
         return lsn
-
-    @staticmethod
-    def _batch_size(records: Iterable[StoredRecord]) -> int:
-        return sum(RECORD_HEADER_BYTES + len(r.data) for r in records)
 
     async def _flush_writes(self) -> None:
         """Stream the buffer as an unacknowledged WriteLog batch.
@@ -718,10 +863,11 @@ class AsyncReplicatedLog:
         if not self._buffer:
             return
         batch = tuple(self._buffer)
-        msg = WriteLogMsg(self.client_id, self._epoch, batch)
+        msg = WriteLogMsg.trusted(self.client_id, self._epoch, batch)
+        bufs = frame_iov(msg, self._buffer_enc)
         for sid in list(self._write_set):
             try:
-                sent = self._conns[sid].try_send(msg)
+                sent = self._conns[sid].try_send(msg, bufs)
             except ServerUnavailable:
                 await self._replace_server(sid)
                 continue
@@ -735,7 +881,10 @@ class AsyncReplicatedLog:
                 self._strikes[sid] = 0
                 await self._replace_server(sid)
         self._window.extend(batch)
+        self._window_enc.extend(self._buffer_enc)
         self._buffer = []
+        self._buffer_enc = []
+        self._buffer_bytes = 0
         # One scheduling point per flush: without it, back-to-back
         # writes starve the writer tasks and even healthy servers'
         # queues would overflow.
@@ -751,13 +900,16 @@ class AsyncReplicatedLog:
         """
         self._require_init()
         records = tuple(self._window) + tuple(self._buffer)
+        record_bufs = self._window_enc + self._buffer_enc
         if not records:
             if self._last_record is None or self._last_record.epoch != self._epoch:
                 return self._next_lsn - 1
             # Nothing unacknowledged: re-force the tail record so the
             # ack still carries a durability promise for this epoch.
             records = (self._last_record,)
-        msg = ForceLogMsg(self.client_id, self._epoch, records)
+            record_bufs = [self._last_record_enc]
+        msg = ForceLogMsg.trusted(self.client_id, self._epoch, records)
+        bufs = frame_iov(msg, record_bufs)
 
         # Forces go to every write-set server concurrently, so the ack
         # wait is max(server latency), not the sum — a hung member
@@ -770,7 +922,7 @@ class AsyncReplicatedLog:
         async def guarded() -> LSN:
             targets = list(self._write_set)
             results = await asyncio.gather(
-                *(self._conns[sid].force(msg) for sid in targets),
+                *(self._conns[sid].force(msg, bufs) for sid in targets),
                 return_exceptions=True,
             )
             for sid, result in zip(targets, results):
@@ -781,15 +933,28 @@ class AsyncReplicatedLog:
                     raise result
             return msg.high_lsn
 
+        loop = asyncio.get_running_loop()
+        queue_depth = max(
+            (self._conns[sid].queued_frames() for sid in self._write_set),
+            default=0,
+        )
+        t0 = loop.time()
         high = await async_retry(guarded, self.retry_policy, self.rng,
                                  on_retry=self._reconnect_for_retry)
+        self.delta_controller.observe_force(loop.time() - t0,
+                                            len(records), queue_depth)
         merged = self._require_init()
-        for record in records:
-            for sid in self._write_set:
-                merged.note(record.lsn, self._epoch, sid)
+        # Forced records are one consecutive LSN run by construction.
+        for sid in self._write_set:
+            merged.note_range(records[0].lsn, records[-1].lsn,
+                              self._epoch, sid)
         self._window = []
         self._buffer = []
+        self._window_enc = []
+        self._buffer_enc = []
+        self._buffer_bytes = 0
         self._last_record = records[-1]
+        self._last_record_enc = record_bufs[-1]
         self.forces_performed += 1
         return high
 

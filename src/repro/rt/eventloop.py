@@ -1,0 +1,37 @@
+"""Event-loop backend selection for ``repro serve`` / ``repro loadgen``.
+
+The runtime is backend-agnostic asyncio; ``--loop uvloop`` swaps the
+default event-loop policy for `uvloop <https://uvloop.readthedocs.io>`_
+when it is installed, which removes a slice of pure-Python scheduling
+overhead from the hot path.  The default (``--loop asyncio``) is
+untouched, and uvloop is strictly optional: requesting it without the
+package installed is a clear startup error, never a silent fallback.
+"""
+
+from __future__ import annotations
+
+LOOP_BACKENDS = ("asyncio", "uvloop")
+
+
+def install_loop_backend(name: str | None) -> None:
+    """Install the requested event-loop policy before ``asyncio.run``.
+
+    ``None``/``"asyncio"`` is a no-op.  ``"uvloop"`` installs uvloop's
+    policy, raising ``SystemExit`` with a clear message when the
+    package is absent (it is an optional dependency).
+    """
+    if name in (None, "", "asyncio"):
+        return
+    if name == "uvloop":
+        try:
+            import uvloop
+        except ImportError:
+            raise SystemExit(
+                "--loop uvloop requested but the uvloop package is not "
+                "installed; omit --loop (or pass --loop asyncio) to use "
+                "the default event loop"
+            ) from None
+        uvloop.install()
+        return
+    raise SystemExit(f"unknown event-loop backend {name!r}; "
+                     f"choose from {', '.join(LOOP_BACKENDS)}")

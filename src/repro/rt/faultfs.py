@@ -7,7 +7,9 @@ thin veneer over the ``os`` module; :class:`FaultInjector` is the
 deterministic fault layer behind ``repro crashsweep``.
 
 Every call names its **site** (``log.write.record``, ``log.fsync``,
-``compact.rename``, ...).  The injector counts invocations per site, so
+``log.group-fsync`` — the fsync a server group commit shares across
+parked ForceLogs — ``compact.rename``, ...).  The injector counts
+invocations per site, so
 ``(site, index)`` identifies one exact I/O operation of a deterministic
 workload — a *crash point*.  A :class:`FaultPlan` arms one point with
 one action:

@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from collections.abc import Sequence
 from pathlib import Path
 
 from ..core.errors import ProtocolError, StorageError
@@ -285,6 +286,11 @@ class FileLogStore:
         self.truncated_bytes = 0
         # Counters for the Stats wire message.
         self.bytes_appended = 0
+        #: log-file fsyncs issued (per-entry syncs and group syncs both).
+        self.fsyncs = 0
+        #: records presented for append (duplicates included — the
+        #: covering fsync promises durability for them all the same).
+        self.records_appended = 0
         self.truncations = 0
         self.compactions = 0
         self.reclaimed_bytes = 0
@@ -451,6 +457,7 @@ class FileLogStore:
             self.io.write(self._file, buf, _ETYPE_SITES[etype])
             if fsync:
                 self.io.fsync(self._file, "log.fsync")
+                self.fsyncs += 1
         except OSError as exc:
             raise self._wedge(exc) from exc
         self._size += len(buf)
@@ -466,15 +473,12 @@ class FileLogStore:
         :class:`~repro.core.errors.ProtocolError` before any bytes are
         written.
         """
-        state = self.mem.client_state(client_id)
-        existing = state.lookup(record.lsn)
-        if existing is not None and existing.epoch == record.epoch \
-                and existing.present == record.present \
-                and existing.data == record.data:
-            return
+        self.records_appended += 1
         # Validate through the in-memory store first so a protocol
-        # violation leaves the durable stream untouched.
-        self.mem.server_write_record(client_id, record)
+        # violation leaves the durable stream untouched; ``False``
+        # means a duplicate retransmission, dropped without a write.
+        if not self.mem.server_write_record(client_id, record):
+            return
         offset = self._append_entry(
             E_RECORD, client_id, encode_stored_record(record), fsync
         )
@@ -490,26 +494,96 @@ class FileLogStore:
 
     def append_records(self, client_id: str,
                        records: tuple[StoredRecord, ...], *,
-                       fsync: bool) -> None:
+                       fsync: bool,
+                       images: "Sequence[bytes] | None" = None) -> None:
         """Append a batch; one :meth:`sync` covers the whole batch.
+
+        The whole batch becomes **one** buffered write (crash point
+        ``log.write.record``, same as before — a torn multi-entry write
+        truncates to the last complete entry on recovery, and none of
+        the batch was acknowledged).  ``images`` optionally carries the
+        raw wire image per record (from :func:`repro.net.codec.decode`)
+        so the hot path never re-encodes; each image is byte-compatible
+        with ``encode_stored_record``.
 
         The sync is unconditional even when every record was a
         duplicate retransmission: the originals may have arrived in
         unsynced WriteLogs, and the ForceLog ack promises durability.
         """
-        for record in records:
-            self.append_record(client_id, record, fsync=False)
+        cid_raw = client_id.encode("utf-8")
+        if len(cid_raw) > 16:
+            raise FileStoreError(f"client id {client_id!r} exceeds 16 bytes")
+        header = _ENTRY.pack(ENTRY_MAGIC, E_RECORD, cid_raw)
+        buf = bytearray()
+        pending: list[tuple[LSN, int]] = []  # (lsn, entry offset)
+        try:
+            for i, record in enumerate(records):
+                self.records_appended += 1
+                # Validate through the in-memory store first so a
+                # protocol violation leaves the durable stream with
+                # exactly the records validated before it; ``False``
+                # means a duplicate retransmission, dropped without
+                # touching the file.
+                if not self.mem.server_write_record(client_id, record):
+                    continue
+                image = (images[i] if images is not None
+                         else encode_stored_record(record))
+                pending.append((record.lsn, self._size + len(buf)))
+                buf += header
+                buf += image
+        finally:
+            # Flush whatever validated before a mid-batch protocol
+            # error: the in-memory store already holds those records,
+            # and mem must never run ahead of the durable stream.
+            if buf:
+                self._flush_record_batch(bytes(buf), client_id, pending)
         if fsync:
             self.sync()
         self._maybe_compact()
 
-    def sync(self) -> None:
-        """Make everything appended so far durable (flush + fsync)."""
+    def _flush_record_batch(self, buf: bytes, client_id: str,
+                            pending: list[tuple[LSN, int]]) -> None:
+        """One buffered write + one forest node for a validated batch."""
         self._check_writable()
         try:
-            self.io.fsync(self._file, "log.fsync")
+            self.io.write(self._file, buf, "log.write.record")
         except OSError as exc:
             raise self._wedge(exc) from exc
+        self._size += len(buf)
+        self.bytes_appended += len(buf)
+        forest = self._forest(client_id)
+        high = forest.high_key or 0
+        fresh = [(lsn, off) for lsn, off in pending if lsn > high]
+        if not fresh:
+            return
+        try:
+            lo, hi = fresh[0][0], fresh[-1][0]
+            if hi - lo + 1 == len(fresh):
+                # Consecutive batch LSNs: one multi-key node indexes
+                # the whole group instead of one node per record.
+                forest.append(lo, hi, tuple(off for _, off in fresh))
+            else:
+                for lsn, off in fresh:
+                    forest.append_key(lsn, off)
+        except OSError as exc:
+            # The index is advisory (rebuilt from the log on recovery),
+            # but a failing disk should wedge appends all the same.
+            raise self._wedge(exc) from exc
+
+    def sync(self, *, site: str = "log.fsync") -> None:
+        """Make everything appended so far durable (flush + fsync).
+
+        ``site`` names the fault-injection crash point charged for the
+        fsync; the server's shared group commit passes
+        ``"log.group-fsync"`` so power loss inside a sync that covers
+        several parked clients is its own swept crash point.
+        """
+        self._check_writable()
+        try:
+            self.io.fsync(self._file, site)
+        except OSError as exc:
+            raise self._wedge(exc) from exc
+        self.fsyncs += 1
 
     def stage_copy(self, client_id: str, record: StoredRecord) -> None:
         """CopyLog: durably stage a rewrite (installed atomically later)."""

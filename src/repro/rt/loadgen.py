@@ -167,6 +167,17 @@ class MultiLoadReport:
         return self.transactions / self.duration_s if self.duration_s else 0.0
 
     @property
+    def records_per_sec(self) -> float:
+        return self.records_written / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def force_p50_ms(self) -> float:
+        merged = sorted(
+            lat for r in self.per_client for lat in r.force_latencies_s
+        )
+        return 1e3 * percentile(merged, 0.50)
+
+    @property
     def force_p99_ms(self) -> float:
         merged = sorted(
             lat for r in self.per_client for lat in r.force_latencies_s
@@ -180,6 +191,8 @@ class MultiLoadReport:
             "transactions": self.transactions,
             "records_written": self.records_written,
             "txns_per_sec": round(self.txns_per_sec, 3),
+            "records_per_sec": round(self.records_per_sec, 3),
+            "force_p50_ms": round(self.force_p50_ms, 3),
             "force_p99_ms": round(self.force_p99_ms, 3),
             "per_client": [r.as_dict() | {"client_id": r.client_id}
                            for r in self.per_client],

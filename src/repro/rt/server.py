@@ -27,6 +27,16 @@ a restart.  Handlers run inline on the event loop — including the
 ``fsync`` — so a force acts as a natural group-commit barrier for
 every connection, the same economy the paper's grouped interface is
 designed around.
+
+Group commit is explicit, not just incidental: a ForceLog appends its
+records *without* syncing and parks on a shared sync generation; a
+single scheduled task then issues one ``fsync`` (crash point
+``log.group-fsync``) covering every force parked so far — across all
+client connections — and fans the NewHighLSN acks out afterwards.  An
+ack is only ever sent for bytes the covering fsync returned for, so
+the FaultFS/ALICE crash model is preserved: power loss inside the
+shared sync loses *every* parked force's records and *no* ack has been
+sent for any of them.
 """
 
 from __future__ import annotations
@@ -37,7 +47,7 @@ from bisect import bisect_left, bisect_right
 
 from ..core.errors import LogError, ProtocolError, RecordNotStored, StorageError
 from ..core.records import LSN, StoredRecord
-from ..net.codec import frame, read_message
+from ..net.codec import FrameReader, frame, frame_new_high_lsn
 from ..net.messages import (
     ERR_GENERIC,
     ERR_PROTOCOL,
@@ -86,19 +96,36 @@ class LogServerDaemon:
         port: int = 0,
         *,
         read_budget_bytes: int = PACKET_PAYLOAD_BYTES,
+        group_commit: bool = True,
     ):
         self.store = store
         self.host = host
         self.port = port
         self.read_budget_bytes = read_budget_bytes
+        #: when set (the default), concurrent ForceLogs share one fsync
+        #: via the parked sync generation; clearing it restores the
+        #: inline append+fsync+ack path of :meth:`_dispatch`.
+        self.group_commit = group_commit
         self._server: asyncio.AbstractServer | None = None
         #: next LSN expected per client ("contiguous with those it has
         #: previously received"); absent ⇒ seed from the durable high.
         self._expected: dict[str, LSN] = {}
+        #: forces parked on the current sync generation:
+        #: (connection writer, client id, high LSN to acknowledge).
+        self._parked_forces: list[
+            tuple[asyncio.StreamWriter, str, LSN]] = []
+        self._sync_task: asyncio.Task | None = None
+        self._sync_wanted = asyncio.Event()
         self.messages_handled = 0
         self.missing_intervals_sent = 0
         self.forces_acked = 0
         self.pings_answered = 0
+        #: forces that shared a predecessor's fsync (size-1 groups add 0).
+        self.forces_coalesced = 0
+        #: shared group syncs issued (≤ forces when coalescing works).
+        self.group_syncs = 0
+        #: buffers handed to the transport via vectored reply writes.
+        self.send_iovecs = 0
 
     # -- lifecycle ----------------------------------------------------
 
@@ -114,6 +141,12 @@ class LogServerDaemon:
             await self._server.serve_forever()
 
     async def close(self) -> None:
+        if self._sync_task is not None and not self._sync_task.done():
+            self._sync_task.cancel()
+            try:
+                await self._sync_task
+            except asyncio.CancelledError:
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -124,21 +157,29 @@ class LogServerDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        frames = FrameReader(reader)
+        images: list[bytes] = []
         try:
             while True:
-                msg = await read_message(reader)
+                images.clear()
+                msg = await frames.read_message(images)
                 if msg is None:
                     break
                 self.messages_handled += 1
-                for reply in self._dispatch(msg):
-                    writer.write(frame(reply))
-                await writer.drain()
+                if self.group_commit and isinstance(msg, ForceLogMsg):
+                    replies = self._park_force(msg, writer, images)
+                else:
+                    replies = self._dispatch(msg, images)
+                if replies:
+                    self._write_replies(writer, replies)
+                    await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception:
             log.exception("connection handler failed on %s",
                           self.store.server_id)
         finally:
+            frames.close()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -147,14 +188,94 @@ class LogServerDaemon:
                 # so the cancellation doesn't surface as loop noise
                 pass
 
+    def _write_replies(self, writer: asyncio.StreamWriter,
+                       replies: list[Message]) -> None:
+        bufs = [frame(reply) for reply in replies]
+        writer.writelines(bufs)
+        self.send_iovecs += len(bufs)
+
+    # -- group commit --------------------------------------------------
+
+    def _park_force(self, msg: ForceLogMsg, writer: asyncio.StreamWriter,
+                    images: list[bytes] | None = None) -> list[Message]:
+        """Append a ForceLog's records and park it on the shared sync.
+
+        Anything that must be said *before* durability — the
+        MissingInterval NAK for a gap, a typed error for a failed
+        append — is returned for an inline reply exactly as on the
+        ungrouped path.  The NewHighLSN ack is not: it fans out from
+        :meth:`_sync_loop` after the one fsync that covers every
+        parked force, and never before.
+        """
+        out = self._on_write(msg, force=False, images=images)
+        if any(isinstance(reply, ErrorReply) for reply in out):
+            return out  # nothing was appended; nothing to acknowledge
+        self._parked_forces.append((writer, msg.client_id, msg.high_lsn))
+        if self._sync_task is None or self._sync_task.done():
+            self._sync_task = asyncio.create_task(self._sync_loop())
+        self._sync_wanted.set()
+        return out
+
+    async def _sync_loop(self) -> None:
+        """The long-lived group-commit worker: one fsync per generation.
+
+        Parked on an :class:`asyncio.Event` between generations (no
+        per-force task creation).  One scheduling yield before each
+        fsync: connection handlers that already hold complete frames in
+        their receive buffers get to park their forces on this
+        generation, so concurrent clients share the fsync instead of
+        paying one each.
+        """
+        while True:
+            await self._sync_wanted.wait()
+            self._sync_wanted.clear()
+            await asyncio.sleep(0)
+            while self._parked_forces:
+                batch = self._parked_forces
+                self._parked_forces = []
+                try:
+                    self.store.sync(site="log.group-fsync")
+                except LogError as exc:
+                    code = _error_code(exc)
+                    for writer, client_id, _high in batch:
+                        self._reply_safely(writer, [
+                            ErrorReply(client_id, str(exc), code=code)])
+                    continue
+                self.group_syncs += 1
+                self.forces_coalesced += len(batch) - 1
+                acks: dict[
+                    int, tuple[asyncio.StreamWriter, list[bytes]]] = {}
+                for writer, client_id, high in batch:
+                    entry = acks.setdefault(id(writer), (writer, []))
+                    entry[1].append(frame_new_high_lsn(client_id, high))
+                    self.forces_acked += 1
+                for writer, bufs in acks.values():
+                    self._write_frames_safely(writer, bufs)
+
+    def _reply_safely(self, writer: asyncio.StreamWriter,
+                      replies: list[Message]) -> None:
+        """Write replies to a connection that may have died meanwhile."""
+        self._write_frames_safely(writer, [frame(r) for r in replies])
+
+    def _write_frames_safely(self, writer: asyncio.StreamWriter,
+                             bufs: list[bytes]) -> None:
+        """Vectored write to a connection that may have died meanwhile."""
+        try:
+            if not writer.is_closing():
+                writer.writelines(bufs)
+                self.send_iovecs += len(bufs)
+        except (ConnectionError, OSError):  # pragma: no cover - races
+            pass
+
     # -- dispatch -----------------------------------------------------
 
-    def _dispatch(self, msg: Message) -> list[Message]:
+    def _dispatch(self, msg: Message,
+                  images: list[bytes] | None = None) -> list[Message]:
         # ForceLogMsg subclasses WriteLogMsg: test it first.
         if isinstance(msg, ForceLogMsg):
-            return self._on_write(msg, force=True)
+            return self._on_write(msg, force=True, images=images)
         if isinstance(msg, WriteLogMsg):
-            return self._on_write(msg, force=False)
+            return self._on_write(msg, force=False, images=images)
         if isinstance(msg, NewIntervalMsg):
             self._expected[msg.client_id] = msg.starting_lsn
             return []
@@ -193,7 +314,8 @@ class LogServerDaemon:
             return [ErrorReply(msg.client_id, str(exc),
                                code=_error_code(exc))]
 
-    def _on_write(self, msg: WriteLogMsg, *, force: bool) -> list[Message]:
+    def _on_write(self, msg: WriteLogMsg, *, force: bool,
+                  images: list[bytes] | None = None) -> list[Message]:
         client_id = msg.client_id
         out: list[Message] = []
         expected = self._expected.get(client_id)
@@ -204,8 +326,11 @@ class LogServerDaemon:
             out.append(MissingIntervalMsg(client_id, lo=expected,
                                           hi=msg.low_lsn - 1))
             self.missing_intervals_sent += 1
+        if images is not None and len(images) != len(msg.records):
+            images = None  # defensive: only trust an aligned capture
         try:
-            self.store.append_records(client_id, msg.records, fsync=force)
+            self.store.append_records(client_id, msg.records, fsync=force,
+                                      images=images)
         except LogError as exc:
             out.append(ErrorReply(client_id, str(exc),
                                   code=_error_code(exc)))
@@ -294,6 +419,12 @@ class LogServerDaemon:
             "injected_faults": store.injected_faults,
             "recovery_replays": store.recovered_entries,
             "crc_rejections": store.crc_rejections,
+            "fsyncs": store.fsyncs,
+            "records_per_fsync": (
+                store.records_appended // store.fsyncs
+                if store.fsyncs else 0),
+            "forces_coalesced": self.forces_coalesced,
+            "send_iovecs": self.send_iovecs,
         }
         counters = tuple(values[name] for name in STATS_COUNTERS)
         return StatsReply(msg.client_id, counters)
@@ -318,6 +449,7 @@ async def run_server(
     compact_watermark_bytes: int | None = None,
     fault_plan: str | None = None,
     fault_trace: str | None = None,
+    group_commit: bool = True,
 ) -> None:
     """Run one daemon until cancelled (the ``repro serve`` entry point).
 
@@ -339,7 +471,7 @@ async def run_server(
     store = FileLogStore(data_dir, server_id,
                          compact_watermark_bytes=compact_watermark_bytes,
                          io=io)
-    daemon = LogServerDaemon(store, host, port)
+    daemon = LogServerDaemon(store, host, port, group_commit=group_commit)
     await daemon.start()
     announce(f"REPRO-SERVE {server_id} {daemon.host} {daemon.port}",
              flush=True)

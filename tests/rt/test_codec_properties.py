@@ -11,6 +11,7 @@ Two invariants for every message type:
 
 from __future__ import annotations
 
+import asyncio
 import struct
 
 import pytest
@@ -23,12 +24,19 @@ from repro.net.codec import (
     KIND_CODES,
     MAX_CLIENT_ID_BYTES,
     MAX_RECORD_DATA,
+    BufferPool,
+    FrameReader,
     WireCodecError,
     decode,
     decode_stored_record,
     encode,
+    encode_into,
+    encode_iov,
     encode_stored_record,
     frame,
+    frame_into,
+    frame_iov,
+    frame_new_high_lsn,
 )
 from repro.net.messages import (
     MESSAGE_HEADER_BYTES,
@@ -283,3 +291,143 @@ def test_stats_reply_names_match_wire_order():
     decoded = decode(encode(msg))
     assert decoded.as_dict() == dict(zip(STATS_COUNTERS, counters))
     assert msg.wire_size == MESSAGE_HEADER_BYTES + 8 * len(counters)
+
+
+# -- zero-copy encode/frame variants --------------------------------------
+#
+# The scatter-gather senders (``encode_iov``/``frame_iov``), the
+# append-into-scratch senders (``encode_into``/``frame_into``), and the
+# fused group-commit ack (``frame_new_high_lsn``) must be *byte
+# identical* to the reference ``encode``/``frame`` for every message
+# kind — they are transport optimizations, never wire-format changes.
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.one_of(messages(), generator_messages()))
+def test_encode_iov_matches_encode(msg):
+    assert b"".join(encode_iov(msg)) == encode(msg)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.one_of(messages(), generator_messages()))
+def test_encode_into_appends_encode(msg):
+    buf = bytearray(b"prefix")
+    n = encode_into(msg, buf)
+    assert bytes(buf) == b"prefix" + encode(msg)
+    assert n == msg.wire_size
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.one_of(messages(), generator_messages()))
+def test_frame_iov_matches_frame(msg):
+    assert b"".join(frame_iov(msg)) == frame(msg)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.one_of(messages(), generator_messages()))
+def test_frame_into_appends_frame(msg):
+    buf = bytearray(b"xy")
+    n = frame_into(msg, buf)
+    assert bytes(buf) == b"xy" + frame(msg)
+    assert n == len(frame(msg))
+
+
+@settings(max_examples=200, deadline=None)
+@given(record_batches(), st.booleans())
+def test_encode_iov_accepts_preencoded_record_images(batch, force):
+    ep, records = batch
+    cls = ForceLogMsg if force else WriteLogMsg
+    msg = cls("c", ep, records)
+    images = [encode_stored_record(r) for r in records]
+    assert b"".join(encode_iov(msg, images)) == encode(msg)
+    assert b"".join(frame_iov(msg, images)) == frame(msg)
+
+
+@settings(max_examples=200, deadline=None)
+@given(client_ids, lsns)
+def test_frame_new_high_lsn_matches_generic_frame(cid, lsn):
+    assert frame_new_high_lsn(cid, lsn) == frame(NewHighLSNMsg(cid, lsn))
+
+
+@settings(max_examples=200, deadline=None)
+@given(messages())
+def test_decode_accepts_memoryview(msg):
+    buf = encode(msg)
+    with memoryview(buf) as view:
+        assert decode(view) == msg
+
+
+@settings(max_examples=200, deadline=None)
+@given(record_batches(), st.booleans())
+def test_decode_collects_raw_record_images(batch, force):
+    """``record_images`` gets each record's exact on-disk wire image."""
+    ep, records = batch
+    cls = ForceLogMsg if force else WriteLogMsg
+    msg = cls("c", ep, records)
+    images: list[bytes] = []
+    assert decode(encode(msg), images) == msg
+    assert images == [encode_stored_record(r) for r in records]
+
+
+# -- FrameReader: persistent receive buffer -------------------------------
+
+
+def _stream_reader(data: bytes, chunks: list[int]):
+    """A fed-and-closed StreamReader delivering ``data`` in pieces."""
+    reader = asyncio.StreamReader()
+    pos = 0
+    for size in chunks:
+        reader.feed_data(data[pos:pos + size])
+        pos += size
+    reader.feed_data(data[pos:])
+    reader.feed_eof()
+    return reader
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(messages(), min_size=1, max_size=6), st.data())
+def test_frame_reader_round_trips_chunked_stream(msgs, data):
+    stream = b"".join(frame(m) for m in msgs)
+    cuts = data.draw(st.lists(
+        st.integers(min_value=0, max_value=max(len(stream) - 1, 0)),
+        max_size=5))
+
+    async def main():
+        chunks = []
+        pos = 0
+        for cut in sorted(cuts):
+            chunks.append(cut - pos)
+            pos = cut
+        reader = FrameReader(_stream_reader(stream, chunks))
+        out = []
+        while True:
+            msg = await reader.read_message()
+            if msg is None:
+                break
+            out.append(msg)
+        reader.close()
+        return out
+
+    assert asyncio.run(main()) == msgs
+
+
+def test_frame_reader_rejects_mid_frame_eof():
+    msg = WriteLogMsg("c", 1, (StoredRecord(lsn=1, epoch=1, data=b"abc"),))
+    stream = frame(msg)[:-1]
+
+    async def main():
+        reader = FrameReader(_stream_reader(stream, []))
+        with pytest.raises(WireCodecError):
+            await reader.read_message()
+        reader.close()
+
+    asyncio.run(main())
+
+
+def test_buffer_pool_recycles_buffers():
+    pool = BufferPool(max_buffers=2)
+    a = pool.acquire()
+    a += b"scratch"
+    pool.release(a)
+    b = pool.acquire()
+    assert b is a and len(b) == 0  # recycled, cleared
