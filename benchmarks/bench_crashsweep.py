@@ -30,11 +30,12 @@ SMOKE = bool(os.environ.get("REPRO_RT_SMOKE"))
 def test_bench_crashsweep(tmp_path):
     start = time.perf_counter()
     report = run_crashsweep(SweepConfig(
-        root_dir=str(tmp_path), quick=SMOKE, daemon=True,
+        root_dir=str(tmp_path), quick=SMOKE, daemon=True, client=True,
     ))
     wall = time.perf_counter() - start
 
     assert report.points_enumerated >= 30
+    assert report.client_points_enumerated >= 15
     assert report.failures == [], [c.as_dict() for c in report.failures]
 
     emit_table(
@@ -42,16 +43,27 @@ def test_bench_crashsweep(tmp_path):
         sorted(report.sites.items()),
         title=f"crash sweep coverage ({'quick' if SMOKE else 'full'})",
     )
-    emit(f"[bench] {report.cases_run} in-process cases, "
-         f"{len(report.daemon_cases)} daemon cases, {wall:.1f}s")
+    emit_table(
+        ["client site", "points"],
+        sorted(report.client_sites.items()),
+        title="client protocol crash-point coverage",
+    )
+    emit(f"[bench] {len(report.cases)} in-process cases, "
+         f"{len(report.daemon_cases)} daemon cases, "
+         f"{len(report.client_cases)} client cases "
+         f"({report.combined_cases_run} combined), {wall:.1f}s")
     emit_json("crashsweep", {
         "params": {"quick": SMOKE, "seed": report.seed},
         "metrics": {
             "points_enumerated": report.points_enumerated,
             "daemon_points_enumerated": report.daemon_points_enumerated,
+            "client_points_enumerated": report.client_points_enumerated,
+            "client_sites": len(report.client_sites),
             "sites": len(report.sites),
             "cases_run": report.cases_run,
             "daemon_cases_run": len(report.daemon_cases),
+            "client_cases_run": len(report.client_cases),
+            "combined_cases_run": report.combined_cases_run,
             "failures": len(report.failures),
             "sweep_seconds": round(report.duration_s, 3),
         },

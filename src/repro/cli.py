@@ -263,6 +263,8 @@ def _cmd_crashsweep(args: argparse.Namespace) -> int:
                 quick=args.quick,
                 point=args.point,
                 daemon=not args.no_daemon,
+                client=not args.no_client,
+                client_only=args.client,
             ),
             progress=None if args.json else print,
         )
@@ -270,13 +272,25 @@ def _cmd_crashsweep(args: argparse.Namespace) -> int:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
         print()
-        print(format_table(
-            ["site", "points"],
-            [(site, str(n)) for site, n in sorted(report.sites.items())],
-            title=(f"crash-point sweep — seed {report.seed}, "
-                   f"{report.points_enumerated} points enumerated, "
-                   f"{report.cases_run} cases run"),
-        ))
+        if report.sites:
+            print(format_table(
+                ["site", "points"],
+                [(site, str(n))
+                 for site, n in sorted(report.sites.items())],
+                title=(f"crash-point sweep — seed {report.seed}, "
+                       f"{report.points_enumerated} points enumerated, "
+                       f"{report.cases_run} cases run"),
+            ))
+        if report.client_sites:
+            print(format_table(
+                ["client site", "points"],
+                [(site, str(n))
+                 for site, n in sorted(report.client_sites.items())],
+                title=(f"client phase — "
+                       f"{report.client_points_enumerated} protocol "
+                       f"points, {len(report.client_cases)} kill cases, "
+                       f"{report.combined_cases_run} combined"),
+            ))
         if report.failures:
             print("\nFAILURES:")
             for case in report.failures:
@@ -474,6 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-daemon", action="store_true",
                    help="skip the subprocess phase (real 'repro serve' "
                         "daemons crashed over the wire)")
+    p.add_argument("--client", action="store_true",
+                   help="run only the client phase: kill a real client "
+                        "worker process at each protocol crash point "
+                        "and restart per Section 5.4 from a second "
+                        "process")
+    p.add_argument("--no-client", action="store_true",
+                   help="skip the client phase")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of a table")
     p.set_defaults(func=_cmd_crashsweep)

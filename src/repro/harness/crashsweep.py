@@ -34,7 +34,25 @@ authoritative, so the full invariants still apply there.
 The **daemon phase** repeats a subset against a real ``repro serve``
 process: the armed daemon dies with exit status 86 mid-workload
 (``--fault-plan``), is restarted without the plan, and a fresh client
-must read back every wire-acked LSN.
+must read back every wire-acked LSN.  Its combined cases arm
+multi-fault plans — e.g. a torn ``compact.write`` whose corruption
+must stay invisible because power is lost before the covering
+``compact.rename`` installs it.
+
+The **client phase** turns the same idea on the *protocol*: a scripted
+ET1-style workload runs in a separate worker process
+(:mod:`repro.harness.clientworker`) against three real ``repro serve``
+daemons and is killed — exit 86 or SIGKILL — at every enumerated
+protocol crash point of :mod:`repro.rt.clientfault`: after a WriteLog
+batch is streamed, around ForceLog acknowledgments (including after a
+*partial* ack), mid write-set switch, and between each step of the
+§5.4 restart.  A **second OS process** then runs the full §5.4 restart
+and the harness checks the journals: nothing fabricated, every acked
+record durable with its exact payload, the epoch strictly monotone,
+and a third process re-running recovery reproducing the identical
+final state (window-replay idempotence).  Combined client cases arm a
+server storage fault and a client kill in the same run, so recovery
+itself executes against a crashing cluster.
 
 Everything is deterministic given ``seed`` (which varies the record
 payloads); ``repro crashsweep --seed S --point SITE:IDX[:ACTION]``
@@ -44,7 +62,11 @@ replays one failing case.
 from __future__ import annotations
 
 import asyncio
+import os
 import random
+import signal
+import subprocess
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,8 +75,10 @@ from ..core.config import ReplicationConfig
 from ..core.errors import LogError, StorageError
 from ..core.records import StoredRecord
 from ..storage.append_forest import AppendForestError
+from ..rt import clientfault
 from ..rt.cluster import LoopbackCluster
 from ..rt.faultfs import (
+    CLIENT_ACTIONS,
     FAULT_EXIT_CODE,
     FaultInjector,
     FaultPlan,
@@ -101,15 +125,21 @@ class SweepReport:
     cases: list[CrashCase] = field(default_factory=list)
     daemon_points_enumerated: int = 0
     daemon_cases: list[CrashCase] = field(default_factory=list)
+    client_points_enumerated: int = 0
+    client_sites: dict[str, int] = field(default_factory=dict)
+    client_cases: list[CrashCase] = field(default_factory=list)
+    combined_cases_run: int = 0
     duration_s: float = 0.0
 
     @property
     def failures(self) -> list[CrashCase]:
-        return [c for c in self.cases + self.daemon_cases if not c.ok]
+        return [c for c in self.cases + self.daemon_cases
+                + self.client_cases if not c.ok]
 
     @property
     def cases_run(self) -> int:
-        return len(self.cases) + len(self.daemon_cases)
+        return (len(self.cases) + len(self.daemon_cases)
+                + len(self.client_cases))
 
     def as_dict(self) -> dict:
         return {
@@ -120,6 +150,10 @@ class SweepReport:
             "cases_run": self.cases_run,
             "daemon_points_enumerated": self.daemon_points_enumerated,
             "daemon_cases": [c.as_dict() for c in self.daemon_cases],
+            "client_points_enumerated": self.client_points_enumerated,
+            "client_sites": dict(sorted(self.client_sites.items())),
+            "client_cases": [c.as_dict() for c in self.client_cases],
+            "combined_cases_run": self.combined_cases_run,
             "failures": [c.as_dict() for c in self.failures],
             "duration_s": round(self.duration_s, 3),
         }
@@ -140,6 +174,13 @@ class SweepConfig:
     point: str | None = None
     #: also run the subprocess daemon phase.
     daemon: bool = True
+    #: also run the client phase (kill a real client worker process at
+    #: each protocol crash point; §5.4 restart from a second process).
+    #: Off by default for library callers — the CLI turns it on unless
+    #: ``--no-client`` is passed, since it spawns real subprocesses.
+    client: bool = False
+    #: run *only* the client phase (``repro crashsweep --client``).
+    client_only: bool = False
 
 
 # -- the scripted workload ---------------------------------------------------
@@ -551,15 +592,28 @@ def _daemon_enumerate(root: Path) -> list[str]:
             if ln.strip()]
 
 
-def _daemon_case(root: Path, index: int, point: str) -> CrashCase:
-    case = CrashCase(point=point, action="power-loss")
+#: Multi-fault daemon plans: a torn ``compact.write`` (the lying disk
+#: keeps running) combined with power loss at a later point *before*
+#: the rename barrier commits the torn stream — the old log must stay
+#: authoritative and every wire-acked record must survive the restart.
+_DAEMON_COMBINED_PLANS = (
+    "compact.write:2:torn,compact.rename:0:power-loss",
+    "compact.write:2:torn,compact.fsync:0:power-loss",
+)
+
+
+def _daemon_case(root: Path, index, point: str,
+                 action: str = "power-loss",
+                 plan: str | None = None) -> CrashCase:
+    case = CrashCase(point=point, action=action)
     cluster = LoopbackCluster(str(root / f"case-{index}"), num_servers=1)
     try:
         state = {"acked": {}, "mark": 0, "epoch": 0}
         started = True
         try:
             cluster.start_server(
-                "s1", extra_args=["--fault-plan", f"{point}:power-loss"])
+                "s1", extra_args=["--fault-plan",
+                                  plan or f"{point}:{action}"])
         except RuntimeError:
             entry = cluster.servers["s1"]
             if entry.process is None \
@@ -605,6 +659,275 @@ def _select_daemon_points(trace: list[str], *, quick: bool) -> list[str]:
     return points[:3] if quick else points
 
 
+# -- the client phase --------------------------------------------------------
+
+#: clientworker arguments every phase run shares (3 servers, N=2,
+#: δ=4, four 5-record transactions, §5.3 truncation every second one).
+_CLIENT_WORKER_ARGS = ("--m", "3", "--n", "2", "--delta", "4",
+                       "--txns", "4", "--records-per-txn", "5",
+                       "--truncate-every", "2")
+
+#: combined client+server fault cases: (client point, client action,
+#: armed server, server fault plan).  The storage fault kills a
+#: write-set daemon mid-workload, which routes the client through its
+#: §5.4 write-set switch — and the client is then killed inside it.
+_CLIENT_COMBINED = (
+    ("client.switch.begin:0", "exit", "s1",
+     "log.group-fsync:2:power-loss"),
+    ("client.switch.feed:0", "exit", "s1",
+     "log.group-fsync:2:power-loss"),
+    ("client.switch.done:0", "sigkill", "s1",
+     "log.group-fsync:2:power-loss"),
+    ("client.force.ack:0", "exit", "s1",
+     "log.group-fsync:1:power-loss"),
+    ("client.flush.sent:2", "sigkill", "s1",
+     "log.write.record:10:power-loss"),
+)
+
+#: the bounded CI smoke subset: one early restart-step point, one
+#: streamed-batch point, one partial-ack point, one mid-recovery point.
+_CLIENT_QUICK_POINTS = ("client.epoch.written:0", "client.flush.sent:0",
+                        "client.force.ack:0", "client.recovery.copylog:0")
+
+
+def _worker_env(plan: str | None = None,
+                trace: str | None = None) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop(clientfault.PLAN_ENV, None)
+    env.pop(clientfault.TRACE_ENV, None)
+    if plan is not None:
+        env[clientfault.PLAN_ENV] = plan
+    if trace is not None:
+        env[clientfault.TRACE_ENV] = trace
+    return env
+
+
+def _run_worker(addresses: dict, journal: Path, *, mode: str = "run",
+                plan: str | None = None, trace: str | None = None,
+                timeout: float = 120.0) -> int:
+    """Run one clientworker OS process to completion (or injected death)."""
+    servers = ",".join(f"{sid}={host}:{port}"
+                       for sid, (host, port) in sorted(addresses.items()))
+    cmd = [sys.executable, "-m", "repro.harness.clientworker",
+           "--servers", servers, "--journal", str(journal),
+           "--mode", mode, *_CLIENT_WORKER_ARGS]
+    proc = subprocess.run(cmd, env=_worker_env(plan, trace),
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL, timeout=timeout)
+    return proc.returncode
+
+
+@dataclass
+class _WorkerJournal:
+    """Parsed view of one clientworker journal file."""
+
+    epoch: int = 0
+    attempts: dict[int, bytes] = field(default_factory=dict)  # seq → data
+    lsn_of: dict[int, int] = field(default_factory=dict)      # seq → lsn
+    acked_high: int = 0
+    trunc_mark: int = 0    # highest *acknowledged* truncation
+    trunc_req: int = 0     # highest *requested* truncation (intent)
+    rec_epoch: int = 0
+    rec_high: int = 0
+    #: lsn → ("1", data) present / ("0", None) guard / ("-", None) gone
+    finals: dict[int, tuple[str, bytes | None]] = field(default_factory=dict)
+    posts: dict[int, bytes] = field(default_factory=dict)
+    postack: int = 0
+    done: bool = False
+
+
+def _parse_worker_journal(path: Path) -> _WorkerJournal:
+    j = _WorkerJournal()
+    if not path.exists():
+        return j
+    for line in path.read_text().splitlines():
+        parts = line.split()
+        if not parts:
+            continue
+        tag = parts[0]
+        if tag == "EPOCH":
+            j.epoch = int(parts[1])
+        elif tag == "ATTEMPT":
+            j.attempts[int(parts[1])] = bytes.fromhex(parts[2])
+        elif tag == "LSN":
+            j.lsn_of[int(parts[1])] = int(parts[2])
+        elif tag == "ACK":
+            j.acked_high = max(j.acked_high, int(parts[1]))
+        elif tag == "TRUNC":
+            j.trunc_mark = max(j.trunc_mark, int(parts[1]))
+        elif tag == "TRUNCREQ":
+            j.trunc_req = max(j.trunc_req, int(parts[1]))
+        elif tag == "RECOVERED":
+            j.rec_epoch, j.rec_high = int(parts[1]), int(parts[2])
+        elif tag == "FINAL":
+            lsn, state = int(parts[1]), parts[2]
+            j.finals[lsn] = (
+                state, bytes.fromhex(parts[3]) if state == "1" else None
+            )
+        elif tag == "POST":
+            j.posts[int(parts[1])] = bytes.fromhex(parts[2])
+        elif tag == "POSTACK":
+            j.postack = int(parts[1])
+        elif tag == "DONE":
+            j.done = True
+    return j
+
+
+def _client_verify(run: _WorkerJournal, rec1: _WorkerJournal,
+                   rec2: _WorkerJournal) -> list[str]:
+    """The client-phase invariants, checked against three journals.
+
+    ``run`` is the killed client; ``rec1`` and ``rec2`` are the two
+    successive §5.4 restarts from fresh OS processes.  An ack journaled
+    by ``run`` is a durability promise; an attempt without an ack is
+    not — it may appear (the kill landed after the send) or not (before
+    it), but only with the exact attempted payload.
+    """
+    errors: list[str] = []
+    if not rec1.done:
+        errors.append("first recovery worker did not finish")
+    if not rec2.done:
+        errors.append("second recovery worker did not finish")
+    data_of_lsn = {lsn: run.attempts[seq]
+                   for seq, lsn in run.lsn_of.items()}
+    attempted = set(run.attempts.values())
+    # Epoch strictly monotone across every client generation.
+    if run.epoch and rec1.rec_epoch <= run.epoch:
+        errors.append(f"epoch not monotone: restart drew "
+                      f"{rec1.rec_epoch} after the killed client ran "
+                      f"at {run.epoch}")
+    if rec1.rec_epoch and rec2.rec_epoch <= rec1.rec_epoch:
+        errors.append(f"epoch not monotone across restarts: "
+                      f"{rec2.rec_epoch} <= {rec1.rec_epoch}")
+    # Acked-durable exact: every journaled-acked record reads back
+    # with its exact payload (unless legally truncated).  A truncation
+    # *requested* but killed before its ack may or may not have been
+    # applied — like an unacked write, either outcome is legal, so the
+    # durability floor is the highest requested mark, and records in
+    # [acked mark, requested mark) that *do* survive still go through
+    # the no-fabrication payload check below.
+    trunc_floor = max(run.trunc_mark, run.trunc_req)
+    for seq, lsn in sorted(run.lsn_of.items()):
+        if lsn > run.acked_high or lsn < trunc_floor:
+            continue
+        state, data = rec1.finals.get(lsn, ("missing", None))
+        if state != "1":
+            errors.append(f"acked lsn {lsn} lost after client kill "
+                          f"(state {state})")
+        elif data != run.attempts[seq]:
+            errors.append(f"acked lsn {lsn} has the wrong payload "
+                          f"after restart")
+    # No fabrication: every present record carries a payload some
+    # client generation actually attempted, at the LSN it was assigned.
+    for label, rec, extra in (("first", rec1, {}),
+                              ("second", rec2, rec1.posts)):
+        allowed = attempted | set(extra.values())
+        for lsn, (state, data) in sorted(rec.finals.items()):
+            if state != "1":
+                continue
+            want = extra.get(lsn, data_of_lsn.get(lsn))
+            if want is not None:
+                if data != want:
+                    errors.append(f"{label} restart: lsn {lsn} does not "
+                                  f"match the write assigned to it")
+            elif data not in allowed:
+                errors.append(f"{label} restart fabricated lsn {lsn}")
+    # Window-replay idempotence: restarting again (which re-copies the
+    # last δ records and re-stages guards) reproduces the exact state.
+    for lsn in range(1, rec1.rec_high + 1):
+        if rec1.finals.get(lsn) != rec2.finals.get(lsn):
+            errors.append(
+                f"recovery not idempotent at lsn {lsn}: "
+                f"{rec1.finals.get(lsn)!r} then {rec2.finals.get(lsn)!r}"
+            )
+    # Post-recovery liveness: the first restart's acked transaction is
+    # durable for the second.
+    if rec1.done and not rec1.posts:
+        errors.append("first recovery journaled no post-recovery writes")
+    for lsn, data in sorted(rec1.posts.items()):
+        if lsn > rec1.postack:
+            continue
+        state, got = rec2.finals.get(lsn, ("missing", None))
+        if state != "1" or got != data:
+            errors.append(f"post-recovery acked lsn {lsn} not durable")
+    return errors
+
+
+def _client_enumerate(root: Path) -> list[str]:
+    """One fault-free worker run under a recording injector."""
+    trace_path = root / "client-trace.txt"
+    cluster = LoopbackCluster(str(root / "enum"), num_servers=3)
+    with cluster:
+        rc = _run_worker(cluster.addresses(), root / "enum.journal",
+                         trace=str(trace_path))
+    if rc != 0:
+        raise RuntimeError(f"client enumeration worker exited {rc}")
+    if not trace_path.exists():
+        return []
+    return [ln.strip() for ln in trace_path.read_text().splitlines()
+            if ln.strip()]
+
+
+def _select_client_points(trace: list[str], *, quick: bool) -> list[str]:
+    if quick:
+        return [p for p in _CLIENT_QUICK_POINTS if p in trace]
+    # Full mode: first and last index of every site — the window-open
+    # and window-deep shape of each protocol seam.
+    return _select_points(trace, quick=True)
+
+
+def _client_case(root: Path, index: int, point: str, action: str,
+                 server_fault: tuple[str, str] | None = None) -> CrashCase:
+    """Kill a real client worker at ``point``; restart and verify.
+
+    ``server_fault`` additionally arms ``(server_id, fault_plan)`` on
+    one daemon — the combined-fault shape where the cluster is crashing
+    while the client is being killed and recovered.
+    """
+    label = point if server_fault is None \
+        else f"{point}+{server_fault[0]}:{server_fault[1]}"
+    case = CrashCase(point=label, action=action)
+    case_root = root / f"case-{index}"
+    case_root.mkdir(parents=True, exist_ok=True)
+    cluster = LoopbackCluster(str(case_root / "cluster"), num_servers=3)
+    try:
+        if server_fault is not None:
+            cluster.start_server(
+                server_fault[0],
+                extra_args=["--fault-plan", server_fault[1]])
+        cluster.start()
+        run_journal = case_root / "run.journal"
+        rc = _run_worker(cluster.addresses(), run_journal,
+                         plan=f"{point}:{action}")
+        run = _parse_worker_journal(run_journal)
+        if rc == 0 and run.done:
+            # The workload finished without reaching the armed point.
+            case.hit = False
+            return case
+        expected = -signal.SIGKILL if action == "sigkill" \
+            else FAULT_EXIT_CODE
+        if rc != expected:
+            case.errors.append(f"run worker exited {rc}, expected "
+                               f"{expected} (injected kill)")
+        recoveries: list[_WorkerJournal] = []
+        for n in (1, 2):
+            journal = case_root / f"recover{n}.journal"
+            rc = _run_worker(cluster.addresses(), journal, mode="recover")
+            if rc != 0:
+                case.errors.append(f"recovery worker {n} exited {rc}")
+            recoveries.append(_parse_worker_journal(journal))
+        case.errors.extend(
+            _client_verify(run, recoveries[0], recoveries[1]))
+    finally:
+        cluster.stop()
+        case.ok = not case.errors
+    return case
+
+
 # -- entry point -------------------------------------------------------------
 
 
@@ -618,52 +941,131 @@ def run_crashsweep(config: SweepConfig, progress=None) -> SweepReport:
     say(f"crashsweep seed={config.seed} quick={config.quick}")
     start = time.monotonic()
 
-    trace = _enumerate_points(root, payloads)
-    report.points_enumerated = len(trace)
-    for point in trace:
-        site = point.rsplit(":", 1)[0]
-        report.sites[site] = report.sites.get(site, 0) + 1
-    say(f"enumerated {len(trace)} crash points across "
-        f"{len(report.sites)} sites")
-
-    if config.point is not None:
-        parts = config.point.split(":")
-        plan = FaultPlan.parse(config.point) if len(parts) >= 3 \
-            else FaultPlan.parse(config.point + ":power-loss")
-        say(f"replaying single case {plan.spec}")
-        case = _run_case(root / "replay", plan, payloads)
-        report.cases.append(case)
+    if config.point is not None and config.point.startswith("client."):
+        # Replay one client-phase case: SITE:IDX[:ACTION], exit default.
+        plan = FaultPlan.parse(config.point, actions=CLIENT_ACTIONS,
+                               default_action="exit")
+        point = f"{plan.site}:{plan.index}"
+        action = plan.action
+        say(f"replaying single client case {point}:{action}")
+        case = _client_case(root / "client-replay", 0, point, action)
+        report.client_cases.append(case)
         report.duration_s = time.monotonic() - start
         return report
 
-    seen_first: set[str] = set()
-    for n, point in enumerate(_select_points(trace, quick=config.quick)):
-        site = point.rsplit(":", 1)[0]
-        first = site not in seen_first
-        seen_first.add(site)
-        if first:
-            say(f"sweeping site {site} "
-                f"({report.sites[site]} points enumerated)")
-        for action in _actions_for(site, quick=config.quick, first=first):
-            index = int(point.rsplit(":", 1)[1])
-            plan = FaultPlan(site=site, index=index, action=action)
-            case = _run_case(root / f"case-{n}-{action}", plan, payloads)
-            report.cases.append(case)
-            if not case.ok:
-                say(f"FAIL {case.spec}: {'; '.join(case.errors)}")
+    if not config.client_only:
+        trace = _enumerate_points(root, payloads)
+        report.points_enumerated = len(trace)
+        for point in trace:
+            site = point.rsplit(":", 1)[0]
+            report.sites[site] = report.sites.get(site, 0) + 1
+        say(f"enumerated {len(trace)} crash points across "
+            f"{len(report.sites)} sites")
 
-    if config.daemon:
-        daemon_root = root / "daemon"
-        daemon_trace = _daemon_enumerate(daemon_root)
-        report.daemon_points_enumerated = len(daemon_trace)
-        points = _select_daemon_points(daemon_trace, quick=config.quick)
-        say(f"daemon phase: {len(daemon_trace)} points enumerated, "
-            f"crashing a real daemon at {len(points)} of them")
-        for i, point in enumerate(points):
-            case = _daemon_case(daemon_root, i, point)
-            report.daemon_cases.append(case)
-            if not case.ok:
-                say(f"FAIL daemon {case.spec}: {'; '.join(case.errors)}")
+        if config.point is not None:
+            parts = config.point.split(":")
+            plan = FaultPlan.parse(config.point) if len(parts) >= 3 \
+                else FaultPlan.parse(config.point + ":power-loss")
+            say(f"replaying single case {plan.spec}")
+            case = _run_case(root / "replay", plan, payloads)
+            report.cases.append(case)
+            report.duration_s = time.monotonic() - start
+            return report
+
+        seen_first: set[str] = set()
+        for n, point in enumerate(
+                _select_points(trace, quick=config.quick)):
+            site = point.rsplit(":", 1)[0]
+            first = site not in seen_first
+            seen_first.add(site)
+            if first:
+                say(f"sweeping site {site} "
+                    f"({report.sites[site]} points enumerated)")
+            for action in _actions_for(site, quick=config.quick,
+                                       first=first):
+                index = int(point.rsplit(":", 1)[1])
+                plan = FaultPlan(site=site, index=index, action=action)
+                case = _run_case(root / f"case-{n}-{action}", plan,
+                                 payloads)
+                report.cases.append(case)
+                if not case.ok:
+                    say(f"FAIL {case.spec}: {'; '.join(case.errors)}")
+
+        if config.daemon:
+            daemon_root = root / "daemon"
+            daemon_trace = _daemon_enumerate(daemon_root)
+            report.daemon_points_enumerated = len(daemon_trace)
+            points = _select_daemon_points(daemon_trace,
+                                           quick=config.quick)
+            say(f"daemon phase: {len(daemon_trace)} points enumerated, "
+                f"crashing a real daemon at {len(points)} of them")
+            for i, point in enumerate(points):
+                case = _daemon_case(daemon_root, i, point)
+                report.daemon_cases.append(case)
+                if not case.ok:
+                    say(f"FAIL daemon {case.spec}: "
+                        f"{'; '.join(case.errors)}")
+            combined = _DAEMON_COMBINED_PLANS[:1] if config.quick \
+                else _DAEMON_COMBINED_PLANS
+            for i, plan_spec in enumerate(combined):
+                case = _daemon_case(daemon_root, f"combined-{i}",
+                                    plan_spec, action="combined",
+                                    plan=plan_spec)
+                report.daemon_cases.append(case)
+                report.combined_cases_run += 1
+                if not case.ok:
+                    say(f"FAIL daemon combined {case.point}: "
+                        f"{'; '.join(case.errors)}")
+
+    if config.client or config.client_only:
+        client_root = root / "client"
+        client_trace = _client_enumerate(client_root)
+        report.client_points_enumerated = len(client_trace)
+        for point in client_trace:
+            site = point.rsplit(":", 1)[0]
+            report.client_sites[site] = \
+                report.client_sites.get(site, 0) + 1
+        points = _select_client_points(client_trace, quick=config.quick)
+        say(f"client phase: {len(client_trace)} protocol points across "
+            f"{len(report.client_sites)} sites, killing a real client "
+            f"worker at {len(points)} of them")
+        case_n = 0
+        seen_sites: set[str] = set()
+        for point in points:
+            site = point.rsplit(":", 1)[0]
+            first = site not in seen_sites
+            seen_sites.add(site)
+            actions = ["exit"]
+            # The hardest kill on the seams that route replies: a
+            # SIGKILL mid-stream / mid-partial-ack, full mode only.
+            if not config.quick and first and site in (
+                    "client.flush.sent", "client.force.ack"):
+                actions.append("sigkill")
+            for action in actions:
+                case = _client_case(client_root, case_n, point, action)
+                case_n += 1
+                report.client_cases.append(case)
+                if not case.hit:
+                    say(f"client {point}:{action}: point not reached "
+                        f"(workload completed)")
+                elif not case.ok:
+                    say(f"FAIL client {case.spec}: "
+                        f"{'; '.join(case.errors)}")
+        combined = _CLIENT_COMBINED[:1] if config.quick \
+            else _CLIENT_COMBINED
+        say(f"client combined phase: {len(combined)} client-kill + "
+            f"server-fault cases")
+        for point, action, sid, splan in combined:
+            case = _client_case(client_root, case_n, point, action,
+                                server_fault=(sid, splan))
+            case_n += 1
+            report.client_cases.append(case)
+            report.combined_cases_run += 1
+            if not case.hit:
+                say(f"client combined {case.point}: point not reached")
+            elif not case.ok:
+                say(f"FAIL client combined {case.point}: "
+                    f"{'; '.join(case.errors)}")
 
     report.duration_s = time.monotonic() - start
     say(f"{report.cases_run} cases, {len(report.failures)} failures, "

@@ -92,6 +92,7 @@ from ..net.messages import (
     WriteLogMsg,
 )
 from ..net.packet import PACKET_PAYLOAD_BYTES
+from . import clientfault
 
 
 class ServerConnection:
@@ -173,6 +174,20 @@ class ServerConnection:
             )
         except (OSError, asyncio.TimeoutError) as exc:
             raise ServerUnavailable(self.server_id, str(exc)) from exc
+        # A fresh connection must never inherit reply-routing state:
+        # a future left over from the dead connection would be answered
+        # by the new stream's *first* reply, shifting every positional
+        # match after it by one (crash point client.force.ack:0).
+        stale = ServerUnavailable(self.server_id,
+                                  "connection replaced before reply")
+        for fut in self._pending:
+            if not fut.done():
+                fut.set_exception(stale)
+        for _, fut in self._force_waiters:
+            if not fut.done():
+                fut.set_exception(stale)
+        self._pending = []
+        self._force_waiters = []
         self.alive = True
         self._last_rx = loop.time()
         self._sendq = asyncio.Queue(maxsize=self.send_queue_limit)
@@ -391,8 +406,14 @@ class ServerConnection:
         to answer the wrong call).
         """
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append(fut)
         await self.send(msg)
+        # Registered only after the send was accepted: a send that
+        # raises (dead connection, stalled queue) must not leave a
+        # stale future in the positional routing list, where it would
+        # swallow the first reply after a reconnect.  No await between
+        # the enqueue returning and this append, so the reply cannot
+        # arrive first.
+        self._pending.append(fut)
         try:
             reply = await asyncio.wait_for(fut, self.timeout)
         except asyncio.TimeoutError as exc:
@@ -415,8 +436,11 @@ class ServerConnection:
         """
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
-        self._force_waiters.append((msg.high_lsn, fut))
         await self.send(msg, bufs)
+        # After the send for the same reason as in call(): a failed
+        # send must not leak a waiter that a later connection's ack
+        # would resolve as if this force had been acknowledged.
+        self._force_waiters.append((msg.high_lsn, fut))
         handle = loop.call_later(
             self.timeout, self._abort, "force ack timed out")
         try:
@@ -651,8 +675,11 @@ class AsyncReplicatedLog:
 
         async def attempt() -> None:
             await self._ensure_connections()
+            clientfault.hit("client.init.connect")
             lists = await self._gather_interval_lists()
+            clientfault.hit("client.init.lists")
             merged = MergedIntervalMap.merge(lists)
+            clientfault.hit("client.init.merge")
             epoch = await self._new_epoch(merged.highest_epoch())
             await self._perform_recovery(merged, epoch)
 
@@ -709,6 +736,7 @@ class AsyncReplicatedLog:
                 f"generator read quorum needs {read_quorum_size(m)} "
                 f"representatives, only {len(values)} available"
             )
+        clientfault.hit("client.epoch.read")
         new_value = max(values) + 1
         if new_value <= floor:
             raise StaleEpoch("generator", new_value, floor)
@@ -727,6 +755,7 @@ class AsyncReplicatedLog:
                 f"generator write quorum needs {write_quorum_size(m)} "
                 f"representatives, wrote {written}"
             )
+        clientfault.hit("client.epoch.written")
         return new_value
 
     async def _fetch_record(
@@ -770,6 +799,7 @@ class AsyncReplicatedLog:
                          kind="guard")
             for i in range(1, config.delta + 1)
         ]
+        clientfault.hit("client.recovery.staged")
         ordered = list(self._write_set) + [
             sid for sid in sorted(self._conns) if sid not in self._write_set
         ]
@@ -783,15 +813,18 @@ class AsyncReplicatedLog:
             try:
                 await conn.call(CopyLogCall(self.client_id, new_epoch,
                                             tuple(staged)))
+                clientfault.hit("client.recovery.copylog")
                 await conn.call(InstallCopiesCall(self.client_id, new_epoch))
             except ServerUnavailable:
                 continue
+            clientfault.hit("client.recovery.install")
             installed.append(sid)
         if len(installed) < config.copies:
             raise NotEnoughServers(
                 f"recovery could install copies on only {len(installed)} "
                 f"servers; {config.copies} required"
             )
+        clientfault.hit("client.recovery.commit")
         for record in staged:
             for sid in installed:
                 merged.note(record.lsn, new_epoch, sid)
@@ -840,6 +873,7 @@ class AsyncReplicatedLog:
         self._buffer_enc.append(enc)
         self._buffer_bytes += len(enc)
         self.writes_performed += 1
+        clientfault.hit("client.write.buffered")
         if (len(self._window) + len(self._buffer)
                 >= self.delta_controller.effective):
             # δ unacknowledged records: must not run further ahead
@@ -880,6 +914,7 @@ class AsyncReplicatedLog:
             if strikes >= self.slow_strike_limit:
                 self._strikes[sid] = 0
                 await self._replace_server(sid)
+        clientfault.hit("client.flush.sent")
         self._window.extend(batch)
         self._window_enc.extend(self._buffer_enc)
         self._buffer = []
@@ -919,10 +954,19 @@ class AsyncReplicatedLog:
         # every record on N servers.  When no spare exists it raises
         # NotEnoughServers, which the retry policy paces while outages
         # heal.
+        async def forced(sid: str) -> LSN:
+            acked = await self._conns[sid].force(msg, bufs)
+            # One hit per acknowledgment as it lands, so index 0 is
+            # "after a partial ack" — some write-set servers hold the
+            # window durably, others may not have received it yet.
+            clientfault.hit("client.force.ack")
+            return acked
+
         async def guarded() -> LSN:
+            clientfault.hit("client.force.begin")
             targets = list(self._write_set)
             results = await asyncio.gather(
-                *(self._conns[sid].force(msg, bufs) for sid in targets),
+                *(forced(sid) for sid in targets),
                 return_exceptions=True,
             )
             for sid, result in zip(targets, results):
@@ -941,6 +985,7 @@ class AsyncReplicatedLog:
         t0 = loop.time()
         high = await async_retry(guarded, self.retry_policy, self.rng,
                                  on_retry=self._reconnect_for_retry)
+        clientfault.hit("client.force.acked")
         self.delta_controller.observe_force(loop.time() - t0,
                                             len(records), queue_depth)
         merged = self._require_init()
@@ -975,6 +1020,7 @@ class AsyncReplicatedLog:
         async with self._switch_lock:
             if dead_sid not in self._write_set:
                 return  # another path already replaced it
+            clientfault.hit("client.switch.begin")
             live = await self._ensure_connections()
             spares = [sid for sid in sorted(live)
                       if sid not in self._write_set]
@@ -993,12 +1039,16 @@ class AsyncReplicatedLog:
                         ))
                 except ServerUnavailable:
                     continue
+                # The spare holds the window but is not yet in the
+                # write set — the exact mid-switch seam.
+                clientfault.hit("client.switch.feed")
                 index = self._write_set.index(dead_sid)
                 self._write_set[index] = spare
                 self._strikes.pop(dead_sid, None)
                 for record in pending:
                     merged.note(record.lsn, self._epoch, spare)
                 self.server_switches += 1
+                clientfault.hit("client.switch.done")
                 return
             raise NotEnoughServers(
                 f"no spare server available to replace {dead_sid}"
@@ -1035,6 +1085,9 @@ class AsyncReplicatedLog:
                 continue
             if isinstance(reply, TruncateReply):
                 dropped += reply.records_dropped
+                # Index 0 = after the first server applied the mark but
+                # before the rest heard about it.
+                clientfault.hit("client.truncate.reply")
         merged.prune_below(low_water)
         self.truncations_requested += 1
         self.records_truncated += dropped

@@ -83,8 +83,17 @@ class LoopbackCluster:
     # -- lifecycle ----------------------------------------------------
 
     def start(self) -> None:
-        for sid in self.servers:
-            self.start_server(sid)
+        """Start every daemon, overlapping their startups.
+
+        All processes are spawned before any banner is awaited, so a
+        cold M-daemon start costs max(daemon init), not the sum — the
+        client crash sweep starts a fresh 3-daemon cluster per case
+        and feels the difference directly.
+        """
+        started = [self._spawn(sid) for sid in self.servers
+                   if not self.servers[sid].alive]
+        for entry in started:
+            self._await_banner(entry)
 
     def start_server(self, server_id: str,
                      extra_args: list[str] | None = None) -> ServerProcess:
@@ -98,6 +107,14 @@ class LoopbackCluster:
         entry = self.servers[server_id]
         if entry.alive:
             return entry
+        self._spawn(server_id, extra_args)
+        self._await_banner(entry)
+        return entry
+
+    def _spawn(self, server_id: str,
+               extra_args: list[str] | None = None) -> ServerProcess:
+        """Fork one daemon process without waiting for its banner."""
+        entry = self.servers[server_id]
         env = dict(os.environ)
         env["PYTHONPATH"] = _repo_src_dir() + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -114,7 +131,6 @@ class LoopbackCluster:
             stderr=entry.log_file,
             env=env,
         )
-        self._await_banner(entry)
         return entry
 
     def _await_banner(self, entry: ServerProcess) -> None:

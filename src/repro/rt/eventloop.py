@@ -3,35 +3,41 @@
 The runtime is backend-agnostic asyncio; ``--loop uvloop`` swaps the
 default event-loop policy for `uvloop <https://uvloop.readthedocs.io>`_
 when it is installed, which removes a slice of pure-Python scheduling
-overhead from the hot path.  The default (``--loop asyncio``) is
-untouched, and uvloop is strictly optional: requesting it without the
-package installed is a clear startup error, never a silent fallback.
+overhead from the hot path.  uvloop is strictly optional: requesting it
+without the package installed degrades to the default asyncio loop with
+a one-line warning on stderr — a daemon launched from a script on a box
+without uvloop should come up (slower), not die at startup.  The
+backend actually chosen is returned so callers can report it.
 """
 
 from __future__ import annotations
 
+import sys
+
 LOOP_BACKENDS = ("asyncio", "uvloop")
 
 
-def install_loop_backend(name: str | None) -> None:
+def install_loop_backend(name: str | None) -> str:
     """Install the requested event-loop policy before ``asyncio.run``.
 
     ``None``/``"asyncio"`` is a no-op.  ``"uvloop"`` installs uvloop's
-    policy, raising ``SystemExit`` with a clear message when the
-    package is absent (it is an optional dependency).
+    policy when the package is importable; when it is absent the
+    default loop stays installed and a single warning line goes to
+    stderr.  Returns the backend in effect (``"asyncio"`` or
+    ``"uvloop"``).  An unknown name is still a hard ``SystemExit`` —
+    that is a typo, not a missing optional dependency.
     """
     if name in (None, "", "asyncio"):
-        return
+        return "asyncio"
     if name == "uvloop":
         try:
             import uvloop
         except ImportError:
-            raise SystemExit(
-                "--loop uvloop requested but the uvloop package is not "
-                "installed; omit --loop (or pass --loop asyncio) to use "
-                "the default event loop"
-            ) from None
+            print("repro: uvloop requested but not installed; "
+                  "falling back to the default asyncio event loop",
+                  file=sys.stderr)
+            return "asyncio"
         uvloop.install()
-        return
+        return "uvloop"
     raise SystemExit(f"unknown event-loop backend {name!r}; "
                      f"choose from {', '.join(LOOP_BACKENDS)}")

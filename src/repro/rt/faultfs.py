@@ -20,8 +20,20 @@ one action:
     flip one bit in the payload before writing it (the CRC path);
 ``short-write``
     write only a prefix of the payload, then crash (torn write);
+``torn``
+    write only a prefix of the payload and *keep running* — the lying
+    disk.  On its own this is silent corruption (like ``bit-flip``);
+    its purpose is **combined-fault plans**, where a later armed crash
+    (e.g. power loss at the following ``compact.rename``) freezes the
+    disk while the torn bytes are still uncommitted;
 ``power-loss``
     crash *before* the operation takes effect.
+
+A plan string may arm *several* points at once — comma-separated
+``SITE:IDX:ACTION`` specs, parsed by :func:`parse_fault_plans` — so a
+sweep case can model compound failures such as a torn ``compact.write``
+followed by power loss at the next ``compact.rename``.  Malformed
+specs raise :class:`FaultSpecError` naming the offending token.
 
 A crash freezes the disk in the state an ALICE-style crash-consistency
 model allows:
@@ -58,12 +70,36 @@ FAULT_EXIT_CODE = 86
 #: The banner a daemon prints to stderr before an injected exit.
 CRASH_BANNER = "REPRO-FAULT-CRASH"
 
-ACTIONS = ("enospc", "eio", "short-write", "bit-flip", "power-loss")
+ACTIONS = ("enospc", "eio", "short-write", "torn", "bit-flip",
+           "power-loss")
+
+#: Actions of the *client-side* protocol injector
+#: (:mod:`repro.rt.clientfault`): kill the client process with
+#: :data:`FAULT_EXIT_CODE`, kill it with SIGKILL, or raise
+#: :class:`ClientCrash` in-process (unit tests).
+CLIENT_ACTIONS = ("exit", "sigkill", "raise")
 
 #: Actions that end the run (vs. returning an error to the caller).
 _CRASH_ACTIONS = ("short-write", "power-loss")
 
 _ERRNO_ACTIONS = {"enospc": errno.ENOSPC, "eio": errno.EIO}
+
+
+class FaultSpecError(ValueError):
+    """A malformed fault-plan spec, naming the token that is wrong.
+
+    ``token`` is the exact substring that failed to parse (the whole
+    spec when its shape is wrong), so a CLI error or a harness log
+    pinpoints the mistake in a long multi-fault plan string.
+    """
+
+    def __init__(self, spec: str, token: str, reason: str):
+        super().__init__(
+            f"bad fault spec {spec!r}: token {token!r} {reason}"
+        )
+        self.spec = spec
+        self.token = token
+        self.reason = reason
 
 
 class PowerLoss(BaseException):
@@ -88,12 +124,16 @@ class FaultPlan:
     action: str
 
     def __post_init__(self) -> None:
-        if self.action not in ACTIONS:
-            raise ValueError(
-                f"unknown fault action {self.action!r}; one of {ACTIONS}"
+        if self.action not in ACTIONS + CLIENT_ACTIONS:
+            raise FaultSpecError(
+                f"{self.site}:{self.index}:{self.action}", self.action,
+                f"is not a fault action (one of {', '.join(ACTIONS)})",
             )
         if self.index < 0:
-            raise ValueError("fault index must be >= 0")
+            raise FaultSpecError(
+                f"{self.site}:{self.index}:{self.action}", str(self.index),
+                "is a negative invocation index",
+            )
 
     @property
     def point(self) -> str:
@@ -104,21 +144,77 @@ class FaultPlan:
         return f"{self.site}:{self.index}:{self.action}"
 
     @classmethod
-    def parse(cls, spec: str) -> "FaultPlan":
-        """Parse ``site:index:action`` (e.g. ``log.fsync:2:power-loss``)."""
-        parts = spec.rsplit(":", 2)
-        if len(parts) != 3:
-            raise ValueError(
-                f"bad fault spec {spec!r}; expected site:index:action"
-            )
-        site, index_s, action = parts
+    def parse(cls, spec: str, *, actions: tuple[str, ...] = ACTIONS,
+              default_action: str | None = None) -> "FaultPlan":
+        """Parse ``site:index:action`` (e.g. ``log.fsync:2:power-loss``).
+
+        Every malformed input raises :class:`FaultSpecError` naming the
+        bad token: a spec with the wrong shape, an empty site, a
+        non-integer or negative index, or an action outside ``actions``
+        (callers with their own action vocabulary — the client-side
+        injector — pass theirs).  ``default_action`` fills in a
+        two-token ``site:index`` spec when given.
+        """
+        site, index_s, action = _split_spec(spec, default_action)
+        if not site:
+            raise FaultSpecError(spec, site, "is an empty site name")
         try:
             index = int(index_s)
         except ValueError:
-            raise ValueError(
-                f"bad fault spec {spec!r}; index {index_s!r} is not an int"
+            raise FaultSpecError(
+                spec, index_s, "is not an integer invocation index"
             ) from None
+        if index < 0:
+            raise FaultSpecError(spec, index_s,
+                                 "is a negative invocation index")
+        if action not in actions:
+            raise FaultSpecError(
+                spec, action,
+                f"is not a fault action (one of {', '.join(actions)})",
+            )
         return cls(site=site, index=index, action=action)
+
+
+def _split_spec(spec: str, default_action: str | None
+                ) -> tuple[str, str, str]:
+    """Split one ``site:index[:action]`` token, shape-checked."""
+    parts = spec.rsplit(":", 2)
+    if len(parts) == 2 and default_action is not None:
+        return parts[0], parts[1], default_action
+    if len(parts) != 3:
+        raise FaultSpecError(
+            spec, spec,
+            "does not have the shape SITE:IDX:ACTION",
+        )
+    return parts[0], parts[1], parts[2]
+
+
+def parse_fault_plans(spec: str, *, actions: tuple[str, ...] = ACTIONS
+                      ) -> tuple[FaultPlan, ...]:
+    """Parse a comma-separated multi-fault plan string.
+
+    ``"compact.write:1:torn,compact.rename:0:power-loss"`` arms two
+    points in one run.  Whitespace around tokens is tolerated; an empty
+    string, an empty token between commas, a duplicate crash point, or
+    any malformed ``SITE:IDX:ACTION`` raises :class:`FaultSpecError`
+    naming the bad token.
+    """
+    tokens = [token.strip() for token in spec.split(",")]
+    if tokens == [""]:
+        raise FaultSpecError(spec, spec, "is an empty fault plan")
+    plans: list[FaultPlan] = []
+    for token in tokens:
+        if not token:
+            raise FaultSpecError(spec, token,
+                                 "is an empty token between commas")
+        plans.append(FaultPlan.parse(token, actions=actions))
+    points = [plan.point for plan in plans]
+    for point in points:
+        if points.count(point) > 1:
+            raise FaultSpecError(
+                spec, point, "is armed twice in one plan"
+            )
+    return tuple(plans)
 
 
 class PassthroughIO:
@@ -197,12 +293,21 @@ class FaultInjector(PassthroughIO):
     docstring.
     """
 
-    def __init__(self, plan: FaultPlan | None = None, *,
+    def __init__(self, plan=None, *,
                  mode: str = "raise",
                  trace_path: str | Path | None = None):
         if mode not in ("raise", "exit"):
             raise ValueError(f"mode must be 'raise' or 'exit', not {mode!r}")
-        self.plan = plan
+        if plan is None:
+            plans: tuple[FaultPlan, ...] = ()
+        elif isinstance(plan, FaultPlan):
+            plans = (plan,)
+        else:
+            plans = tuple(plan)
+        #: every armed point (combined-fault plans arm several).
+        self.plans = plans
+        #: the single armed plan, for the common one-fault case.
+        self.plan = plans[0] if len(plans) == 1 else None
         self.mode = mode
         self.counts: dict[str, int] = {}
         self.trace: list[str] = []
@@ -234,9 +339,9 @@ class FaultInjector(PassthroughIO):
         self.trace.append(point)
         if self._trace_file is not None:
             self._trace_file.write(point + "\n")
-        plan = self.plan
-        if plan is not None and plan.site == site and plan.index == index:
-            return plan.action
+        for plan in self.plans:
+            if plan.site == site and plan.index == index:
+                return plan.action
         return None
 
     def _point(self) -> str:
@@ -250,8 +355,8 @@ class FaultInjector(PassthroughIO):
 
     def _act(self, action: str | None) -> None:
         """Apply a non-write-site action (crash actions crash *before*
-        the operation; bit-flip/short-write degrade to power-loss away
-        from a payload)."""
+        the operation; bit-flip/short-write/torn degrade to power-loss
+        away from a payload)."""
         if action is None:
             return
         if action in _ERRNO_ACTIONS:
@@ -293,6 +398,10 @@ class FaultInjector(PassthroughIO):
             mid = len(data) // 2
             flipped = data[:mid] + bytes([data[mid] ^ 0x10]) + data[mid + 1:]
             fh.write(flipped)
+            return
+        if action == "torn":
+            self.faults_injected += 1
+            fh.write(data[:max(1, len(data) // 2)])
             return
         if action == "short-write":
             self.faults_injected += 1

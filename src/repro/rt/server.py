@@ -80,7 +80,7 @@ from ..net.messages import (
     WriteLogMsg,
 )
 from ..net.packet import PACKET_PAYLOAD_BYTES
-from .faultfs import FaultInjector, FaultPlan
+from .faultfs import FaultInjector, parse_fault_plans
 from .filestore import FileLogStore
 
 log = logging.getLogger(__name__)
@@ -457,17 +457,17 @@ async def run_server(
     a parent process (:mod:`repro.rt.cluster`) can harvest the
     ephemeral port.
 
-    ``fault_plan`` (``site:index:action``) arms one storage fault via
-    :class:`~repro.rt.faultfs.FaultInjector`; an injected power loss
-    exits the process with status 86 after printing
+    ``fault_plan`` (comma-separated ``site:index:action`` specs) arms
+    storage faults via :class:`~repro.rt.faultfs.FaultInjector`; an
+    injected power loss exits the process with status 86 after printing
     ``REPRO-FAULT-CRASH <site>:<index>`` to stderr.  ``fault_trace``
     appends every I/O crash point hit to a file, which is how the
     sweep harness enumerates a daemon workload's points.
     """
     io = None
     if fault_plan is not None or fault_trace is not None:
-        plan = FaultPlan.parse(fault_plan) if fault_plan else None
-        io = FaultInjector(plan, mode="exit", trace_path=fault_trace)
+        plans = parse_fault_plans(fault_plan) if fault_plan else ()
+        io = FaultInjector(plans, mode="exit", trace_path=fault_trace)
     store = FileLogStore(data_dir, server_id,
                          compact_watermark_bytes=compact_watermark_bytes,
                          io=io)

@@ -1,0 +1,54 @@
+"""The ``--loop`` backend gate must never kill a daemon over an
+optional dependency: uvloop-absent degrades to asyncio with a warning,
+while a typo'd backend name stays a hard startup error."""
+
+import builtins
+import sys
+
+import pytest
+
+from repro.rt.eventloop import LOOP_BACKENDS, install_loop_backend
+
+
+def test_default_backends_are_noops():
+    assert install_loop_backend(None) == "asyncio"
+    assert install_loop_backend("") == "asyncio"
+    assert install_loop_backend("asyncio") == "asyncio"
+
+
+def test_uvloop_absent_degrades_to_asyncio(monkeypatch, capsys):
+    """No uvloop installed → fall back, warn once, keep running."""
+    real_import = builtins.__import__
+
+    def no_uvloop(name, *args, **kwargs):
+        if name == "uvloop":
+            raise ImportError("No module named 'uvloop'")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.delitem(sys.modules, "uvloop", raising=False)
+    monkeypatch.setattr(builtins, "__import__", no_uvloop)
+    assert install_loop_backend("uvloop") == "asyncio"
+    err = capsys.readouterr().err
+    assert "uvloop" in err and "falling back" in err
+    assert err.count("\n") == 1
+
+
+def test_uvloop_present_installs_policy(monkeypatch):
+    """With an importable uvloop module, its install() is called."""
+    calls = []
+
+    class FakeUvloop:
+        @staticmethod
+        def install():
+            calls.append("install")
+
+    monkeypatch.setitem(sys.modules, "uvloop", FakeUvloop())
+    assert install_loop_backend("uvloop") == "uvloop"
+    assert calls == ["install"]
+
+
+def test_unknown_backend_is_a_hard_error():
+    with pytest.raises(SystemExit) as excinfo:
+        install_loop_backend("libuv")
+    for name in LOOP_BACKENDS:
+        assert name in str(excinfo.value)

@@ -13,8 +13,8 @@ from repro.core.errors import StorageError
 from repro.core.records import StoredRecord
 from repro.net.codec import WireCodecError, decode_stored_record, \
     encode_stored_record
-from repro.rt.faultfs import FaultInjector, FaultPlan, PassthroughIO, \
-    PowerLoss
+from repro.rt.faultfs import FaultInjector, FaultPlan, FaultSpecError, \
+    PassthroughIO, PowerLoss, parse_fault_plans
 from repro.rt.filestore import FileLogStore
 
 
@@ -35,14 +35,42 @@ def test_fault_plan_parse_roundtrip():
     assert FaultPlan.parse(plan.spec) == plan
 
 
-@pytest.mark.parametrize("spec", [
-    "log.fsync",                    # no index/action
-    "log.fsync:x:power-loss",       # non-int index
-    "log.fsync:1:meteor-strike",    # unknown action
+@pytest.mark.parametrize("spec,bad_token", [
+    ("log.fsync", "log.fsync"),             # no index/action
+    ("log.fsync:x:power-loss", "x"),        # non-int index
+    ("log.fsync:-1:power-loss", "-1"),      # negative index
+    ("log.fsync:1:meteor-strike", "meteor-strike"),  # unknown action
+    (":1:power-loss", ""),                  # empty site
 ])
-def test_fault_plan_rejects_bad_specs(spec):
-    with pytest.raises(ValueError):
+def test_fault_plan_rejects_bad_specs(spec, bad_token):
+    with pytest.raises(FaultSpecError) as excinfo:
         FaultPlan.parse(spec)
+    assert excinfo.value.token == bad_token
+    assert excinfo.value.spec == spec
+    assert isinstance(excinfo.value, ValueError)  # old except clauses hold
+
+
+def test_parse_fault_plans_multi():
+    plans = parse_fault_plans(
+        "compact.write:1:torn, compact.rename:0:power-loss"
+    )
+    assert [p.spec for p in plans] \
+        == ["compact.write:1:torn", "compact.rename:0:power-loss"]
+    # Single-spec strings parse to a one-plan tuple.
+    assert parse_fault_plans("log.fsync:2:eio") \
+        == (FaultPlan.parse("log.fsync:2:eio"),)
+
+
+@pytest.mark.parametrize("spec,bad_token", [
+    ("", ""),                                        # empty plan
+    ("log.fsync:1:eio,,log.open:0:eio", ""),         # empty middle token
+    ("log.fsync:1:eio,log.fsync:1:enospc", "log.fsync:1"),  # dup point
+    ("log.fsync:1:eio,log.open:zz:eio", "zz"),       # bad token named
+])
+def test_parse_fault_plans_rejects_bad_strings(spec, bad_token):
+    with pytest.raises(FaultSpecError) as excinfo:
+        parse_fault_plans(spec)
+    assert excinfo.value.token == bad_token
 
 
 # -- deterministic enumeration --------------------------------------------
@@ -95,6 +123,55 @@ def test_short_write_keeps_torn_prefix(tmp_path):
     # the tail is truncated away.
     assert again.stored_lsns("c") == [1]
     assert again.truncated_bytes > 0
+    again.close()
+
+
+def test_torn_write_keeps_running(tmp_path):
+    """``torn`` is the lying disk: a half write with no crash."""
+    inj = FaultInjector(FaultPlan.parse("log.write.record:1:torn"))
+    store = FileLogStore(tmp_path, "s1", io=inj)
+    store.append_record("c", rec(1), fsync=True)
+    store.append_record("c", rec(2), fsync=True)   # torn, but "succeeds"
+    store.append_record("c", rec(3), fsync=True)
+    assert inj.faults_injected == 1
+    assert inj.tripped is None
+    store.close()
+    inj.close_all()
+    # Reopen sees the corruption: replay stops at the torn entry.
+    again = FileLogStore(tmp_path, "s1")
+    assert again.stored_lsns("c") == [1]
+    again.close()
+
+
+def test_torn_compact_write_plus_rename_power_loss(tmp_path):
+    """Combined plan ``compact.write:2:torn,compact.rename:0:power-loss``.
+
+    The compaction writes a torn record into ``log.dat.tmp`` and the
+    machine dies just before the rename installs it.  The old stream
+    must stay authoritative — the torn tmp bytes can never surface —
+    and a daemon restart replays the retained suffix and can finish
+    the truncation cleanly.
+    """
+    plans = parse_fault_plans(
+        "compact.write:2:torn,compact.rename:0:power-loss"
+    )
+    inj = FaultInjector(plans)
+    store = FileLogStore(tmp_path, "s1", io=inj)
+    store.append_records("c", tuple(rec(i) for i in range(1, 9)),
+                         fsync=True)
+    with pytest.raises(PowerLoss):
+        store.truncate_below("c", 5)
+    assert inj.faults_injected == 2  # the torn write and the crash
+    inj.close_all()
+    again = FileLogStore(tmp_path, "s1")
+    # Rename never happened: the pre-compaction stream is intact and
+    # the torn tmp file was rolled back with its directory entry.
+    assert again.stored_lsns("c") == list(range(1, 9))
+    assert not (tmp_path / "log.dat.tmp").exists()
+    assert again.read_record("c", 5).data == b"r5"
+    # The retried truncation completes on the clean store.
+    assert again.truncate_below("c", 5) == 4
+    assert again.stored_lsns("c") == [5, 6, 7, 8]
     again.close()
 
 
