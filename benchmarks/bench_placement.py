@@ -1,0 +1,118 @@
+"""Placement at scale: K ring-placed streams over an M-server fleet.
+
+The sharded multi-tenant question EXPERIMENTS.md E17 asks: as the
+number of placed client streams K grows over a fixed fleet of M real
+server processes, where does aggregate throughput stop scaling and
+ForceLog latency start climbing?  One shared loopback cluster serves
+every K in the sweep (fresh tenant-qualified client ids per K keep the
+streams distinct); clients are placed through the consistent-hash
+directory exactly as ``repro loadgen --cluster-spec`` places them, so
+the benchmark measures the placement path end to end — ring walk,
+per-stream write sets, deterministic per-client seeds.
+
+Loopback caveats are E12's: all processes share one machine's cores
+and one disk, so the knee is the box's, not a 10 Mbit/s LAN's.  The
+*shape* — aggregate records/s roughly flat past the knee while p99
+force latency grows with K — is the result; absolute numbers are
+machine-specific.
+
+Knobs (environment):
+
+- ``REPRO_RT_SMOKE=1`` — tiny fleet and sweep for CI;
+- ``REPRO_RT_DURATION`` — seconds per K point;
+- ``REPRO_PLACEMENT_SERVERS`` — fleet size M (default 8);
+- ``REPRO_PLACEMENT_SWEEP`` — comma-separated K values.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.rt.cluster import LoopbackCluster
+from repro.rt.loadgen import run_multi_loadgen_sync
+from repro.rt.placement import PlacementDirectory
+
+from ._emit import emit, emit_json, emit_table
+
+SMOKE = bool(os.environ.get("REPRO_RT_SMOKE"))
+DURATION_S = float(os.environ.get("REPRO_RT_DURATION",
+                                  "2" if SMOKE else "6"))
+SERVERS = int(os.environ.get("REPRO_PLACEMENT_SERVERS",
+                             "3" if SMOKE else "8"))
+SWEEP = [int(k) for k in os.environ.get(
+    "REPRO_PLACEMENT_SWEEP",
+    "2,4" if SMOKE else "4,8,16,32,64").split(",")]
+COPIES = 2
+DELTA = 8
+BASE_SEED = 1987
+
+
+def test_bench_placement(tmp_path):
+    start = time.perf_counter()
+    rows = []
+    points = []
+    with LoopbackCluster(tmp_path, num_servers=SERVERS) as cluster:
+        directory = PlacementDirectory(
+            cluster.cluster_spec(copies=COPIES, delta=DELTA))
+        for k in SWEEP:
+            # Distinct tenants per K so earlier points' streams do not
+            # shadow this point's (every id is fresh to the fleet).
+            report = run_multi_loadgen_sync(
+                directory, clients=k, client_id=f"k{k}",
+                tenants=max(2, k // 4), base_seed=BASE_SEED,
+                duration_s=DURATION_S,
+            )
+            assert report.transactions > 0
+            assert report.records_written == report.transactions * 7
+            points.append({
+                "clients": k,
+                "records_per_sec": round(report.records_per_sec, 1),
+                "txns_per_sec": round(report.txns_per_sec, 1),
+                "force_p50_ms": round(report.force_p50_ms, 3),
+                "force_p99_ms": round(report.force_p99_ms, 3),
+            })
+            rows.append((k, f"{report.records_per_sec:.0f}",
+                         f"{report.txns_per_sec:.0f}",
+                         f"{report.force_p50_ms:.2f}",
+                         f"{report.force_p99_ms:.2f}"))
+            emit(f"[placement] K={k}: "
+                 f"{report.records_per_sec:.0f} rec/s, "
+                 f"p99 force {report.force_p99_ms:.2f} ms")
+
+    emit_table(
+        ["K streams", "rec/s", "txn/s", "force p50 (ms)",
+         "force p99 (ms)"],
+        rows,
+        title=(f"placement sweep — M={SERVERS} servers, N={COPIES}, "
+               f"{DURATION_S:.0f}s per point"),
+    )
+
+    # The knee: the first K whose throughput gain over the previous
+    # point falls under 10% — saturation of the shared fleet.
+    knee = None
+    for prev, cur in zip(points, points[1:]):
+        if cur["records_per_sec"] < 1.10 * prev["records_per_sec"]:
+            knee = cur["clients"]
+            break
+    peak = max(p["records_per_sec"] for p in points)
+    emit(f"[placement] peak {peak:.0f} rec/s; saturation knee at "
+         f"K={knee if knee is not None else '>' + str(SWEEP[-1])}")
+
+    emit_json("placement", {
+        "params": {
+            "servers": SERVERS,
+            "copies": COPIES,
+            "delta": DELTA,
+            "duration_s_per_point": DURATION_S,
+            "sweep": SWEEP,
+            "base_seed": BASE_SEED,
+            "smoke": SMOKE,
+        },
+        "metrics": {
+            "points": points,
+            "peak_records_per_sec": peak,
+            "knee_clients": knee,
+        },
+        "wall_seconds": time.perf_counter() - start,
+    })

@@ -15,6 +15,7 @@ can be regenerated without writing code:
 * ``python -m repro serve``         — run one real log-server daemon;
 * ``python -m repro loadgen``       — drive ET1 load at a real cluster;
 * ``python -m repro stats``         — query a daemon's counters;
+* ``python -m repro ring``          — consistent-hash placement directory;
 * ``python -m repro crashsweep``    — crash-point durability sweep.
 
 Installed as the ``repro`` console script (``pip install -e .``).
@@ -182,6 +183,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_plan=args.fault_plan,
             fault_trace=args.fault_trace,
             group_commit=not args.no_group_commit,
+            cluster_spec=args.cluster_spec,
         ))
     except KeyboardInterrupt:
         pass
@@ -206,15 +208,26 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .core.config import ReplicationConfig
     from .rt.eventloop import install_loop_backend
     from .rt.loadgen import run_loadgen_sync, run_multi_loadgen_sync
+    from .rt.placement import PlacementDirectory, load_cluster_spec
 
     install_loop_backend(args.loop)
-    servers = dict(_parse_server_arg(s) for s in args.server)
-    config = ReplicationConfig(total_servers=len(servers),
-                               copies=args.copies, delta=args.delta)
+    if args.cluster_spec:
+        directory = PlacementDirectory(load_cluster_spec(args.cluster_spec))
+        servers, config = directory, None
+        fleet = len(directory.addresses())
+        copies = directory.spec.copies
+    elif args.server:
+        addrs = dict(_parse_server_arg(s) for s in args.server)
+        config = ReplicationConfig(total_servers=len(addrs),
+                                   copies=args.copies, delta=args.delta)
+        servers, fleet, copies = addrs, len(addrs), args.copies
+    else:
+        raise SystemExit("loadgen needs --cluster-spec or --server")
     if args.clients > 1:
         multi = run_multi_loadgen_sync(
             servers, config, clients=args.clients,
-            client_id=args.client_id, duration_s=args.duration,
+            client_id=args.client_id, tenants=args.tenants,
+            base_seed=args.seed, duration_s=args.duration,
             max_txns=args.max_txns, truncate_every=args.truncate_every,
         )
         if args.json:
@@ -228,7 +241,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                     f"{multi.txns_per_sec:.1f}",
                     f"{multi.force_p99_ms:.2f}")],
                 title=(f"ET1 load: {args.clients} clients against "
-                       f"{len(servers)} real servers (N={args.copies})"),
+                       f"{fleet} real servers (N={copies})"),
             ))
         return 0
     report = run_loadgen_sync(
@@ -236,6 +249,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         max_txns=args.max_txns,
         truncate_every=args.truncate_every,
+        rng_seed=args.seed,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -243,9 +257,60 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(format_table(
             ["quantity", "value"],
             [(k, str(v)) for k, v in sorted(report.as_dict().items())],
-            title=(f"ET1 load against {len(servers)} real servers "
-                   f"(N={args.copies})"),
+            title=(f"ET1 load against {fleet} real servers "
+                   f"(N={copies})"),
         ))
+    return 0
+
+
+def _cmd_ring(args: argparse.Namespace) -> int:
+    import json
+
+    from .rt.placement import (
+        PlacementDirectory,
+        load_cluster_spec,
+        loadgen_client_ids,
+    )
+
+    directory = PlacementDirectory(load_cluster_spec(args.cluster_spec))
+    changed = directory
+    for sid in args.remove or []:
+        changed = changed.without_server(sid)
+    for spec in args.add or []:
+        sid, addr = _parse_server_arg(spec)
+        changed = changed.with_server(sid, addr)
+    ids = (args.client_id or
+           loadgen_client_ids(args.clients, tenants=args.tenants,
+                              prefix=args.prefix))
+    assignments = changed.assignments(ids)
+    moved = (directory.moved_clients(changed, ids)
+             if changed is not directory else [])
+    if args.json:
+        print(json.dumps({
+            "digest": changed.digest(),
+            "servers": sorted(changed.addresses()),
+            "copies": changed.spec.copies,
+            "vnodes": changed.spec.vnodes,
+            "assignments": assignments,
+            "moved": sorted(moved),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(format_table(
+        ["client", "write set"],
+        [(cid, " ".join(ws)) for cid, ws in assignments.items()],
+        title=(f"placement — {len(changed.addresses())} servers, "
+               f"N={changed.spec.copies}, vnodes={changed.spec.vnodes}, "
+               f"digest {changed.digest()[:12]}"),
+    ))
+    per_server: dict[str, int] = {}
+    for ws in assignments.values():
+        for sid in ws:
+            per_server[sid] = per_server.get(sid, 0) + 1
+    print("\nstreams per server: " + ", ".join(
+        f"{sid}={n}" for sid, n in sorted(per_server.items())))
+    if changed is not directory:
+        print(f"roster change moves {len(moved)}/{len(ids)} clients: "
+              + (" ".join(sorted(moved)) or "(none)"))
     return 0
 
 
@@ -309,11 +374,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .net.codec import frame, read_message
     from .net.messages import StatsCall, StatsReply
 
-    host, port = args.address.rsplit(":", 1)
-
-    async def fetch() -> dict:
+    async def fetch(host: str, port: int) -> dict:
         reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(host, int(port)), args.timeout)
+            asyncio.open_connection(host, port), args.timeout)
         try:
             writer.write(frame(StatsCall(args.client_id)))
             await writer.drain()
@@ -329,7 +392,56 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             raise SystemExit(f"unexpected reply: {reply!r}")
         return reply.as_dict()
 
-    counters = asyncio.run(fetch())
+    if args.all or args.cluster_spec:
+        # Fleet fan-out: one concurrent StatsCall per roster entry,
+        # aggregated into per-server rows plus fleet totals.
+        from .rt.placement import load_cluster_spec
+
+        if not args.cluster_spec:
+            raise SystemExit("stats --all needs --cluster-spec")
+        roster = load_cluster_spec(args.cluster_spec).servers
+
+        async def fan_out() -> dict[str, dict | None]:
+            results = await asyncio.gather(
+                *(fetch(host, port) for host, port in roster.values()),
+                return_exceptions=True,
+            )
+            return {sid: (r if isinstance(r, dict) else None)
+                    for sid, r in zip(roster, results)}
+
+        per_server = asyncio.run(fan_out())
+        reached = {sid: c for sid, c in per_server.items() if c is not None}
+        totals: dict[str, int] = {}
+        for counters in reached.values():
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        if args.json:
+            print(json.dumps(
+                {"servers": per_server, "fleet": totals,
+                 "unreachable": sorted(set(per_server) - set(reached))},
+                indent=2, sort_keys=True))
+            return 0 if reached else 1
+        show = ["messages_handled", "forces_acked", "store_records",
+                "log_bytes", "fsyncs", "quota_rejections",
+                "tenant_streams"]
+        rows = [
+            tuple([sid] + [str(counters[k]) for k in show])
+            for sid, counters in sorted(reached.items())
+        ] + [
+            tuple([sid] + ["DOWN"] * len(show))
+            for sid in sorted(set(per_server) - set(reached))
+        ] + [tuple(["FLEET"] + [str(totals.get(k, 0)) for k in show])]
+        print(format_table(
+            ["server"] + show, rows,
+            title=(f"fleet stats — {len(reached)}/{len(per_server)} "
+                   f"servers reachable"),
+        ))
+        return 0 if reached else 1
+
+    if not args.address:
+        raise SystemExit("stats needs an address or --cluster-spec --all")
+    host, port = args.address.rsplit(":", 1)
+    counters = asyncio.run(fetch(host, int(port)))
     if args.json:
         print(json.dumps(counters, indent=2, sort_keys=True))
     else:
@@ -436,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the shared one-fsync-per-group commit "
                         "path (each ForceLog appends and fsyncs inline; "
                         "the perf baseline for A/B benchmarks)")
+    p.add_argument("--cluster-spec", default=None, metavar="PATH",
+                   help="placements.json with per-tenant quotas to "
+                        "enforce (the roster section is for clients; "
+                        "this daemon still binds from its own args)")
     p.add_argument("--loop", default="asyncio",
                    choices=["asyncio", "uvloop"],
                    help="event-loop backend (uvloop is optional and "
@@ -444,12 +560,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "loadgen", help="drive ET1 log load at running log servers")
-    p.add_argument("--server", action="append", required=True,
+    p.add_argument("--server", action="append", default=None,
                    metavar="SID=HOST:PORT",
-                   help="one per server; repeat for the whole cluster")
-    p.add_argument("--copies", type=int, default=2, help="N (default 2)")
+                   help="one per server; repeat for the whole cluster "
+                        "(or use --cluster-spec)")
+    p.add_argument("--cluster-spec", default=None, metavar="PATH",
+                   help="placements.json naming the roster and (N, δ); "
+                        "clients are then placed through the "
+                        "consistent-hash ring")
+    p.add_argument("--copies", type=int, default=2,
+                   help="N (default 2; ignored with --cluster-spec)")
     p.add_argument("--delta", type=int, default=8,
-                   help="unacknowledged-record bound (default 8)")
+                   help="unacknowledged-record bound (default 8; "
+                        "ignored with --cluster-spec)")
     p.add_argument("--duration", type=float, default=5.0)
     p.add_argument("--max-txns", type=int, default=None)
     p.add_argument("--client-id", default="loadgen")
@@ -457,6 +580,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent closed-loop clients (default 1); "
                         "with K > 1 each client runs its own log as "
                         "<client-id>-<i>")
+    p.add_argument("--tenants", type=int, default=0,
+                   help="round-robin multi-client streams over this "
+                        "many tenants as t<j>/<client-id>-<i> "
+                        "(default 0: each stream is its own tenant)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="base seed for deterministic per-client retry "
+                        "jitter (client i uses a seed derived from "
+                        "(seed, i))")
     p.add_argument("--truncate-every", type=int, default=0,
                    help="send a Section 5.3 TruncateLog round every "
                         "this many transactions (default off)")
@@ -467,6 +598,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="event-loop backend (uvloop is optional and "
                         "must be installed; default asyncio)")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "ring", help="print the consistent-hash placement directory "
+                     "for a cluster spec")
+    p.add_argument("--cluster-spec", required=True, metavar="PATH",
+                   help="placements.json naming the roster")
+    p.add_argument("--clients", type=int, default=16,
+                   help="how many loadgen-style client ids to place "
+                        "(default 16)")
+    p.add_argument("--tenants", type=int, default=0,
+                   help="spread the placed ids over this many tenants")
+    p.add_argument("--prefix", default="lg",
+                   help="client-id prefix for the placed ids")
+    p.add_argument("--client-id", action="append", default=None,
+                   metavar="CID",
+                   help="place exactly these ids instead of generated "
+                        "ones; repeatable")
+    p.add_argument("--remove", action="append", default=None,
+                   metavar="SID",
+                   help="preview the roster without this server "
+                        "(repeatable); prints which clients move")
+    p.add_argument("--add", action="append", default=None,
+                   metavar="SID=HOST:PORT",
+                   help="preview the roster with this server added")
+    p.add_argument("--json", action="store_true",
+                   help="emit assignments as JSON (the cross-process "
+                        "determinism check in the tests diffs this)")
+    p.set_defaults(func=_cmd_ring)
 
     p = sub.add_parser(
         "crashsweep",
@@ -500,8 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_crashsweep)
 
     p = sub.add_parser(
-        "stats", help="query one log server's operational counters")
-    p.add_argument("address", metavar="HOST:PORT")
+        "stats", help="query log-server operational counters")
+    p.add_argument("address", metavar="HOST:PORT", nargs="?", default=None,
+                   help="one daemon to query (omit with "
+                        "--cluster-spec --all)")
+    p.add_argument("--cluster-spec", default=None, metavar="PATH",
+                   help="placements.json naming the fleet roster")
+    p.add_argument("--all", action="store_true",
+                   help="query every server in --cluster-spec "
+                        "concurrently and print per-server rows plus "
+                        "fleet totals")
     p.add_argument("--client-id", default="stats",
                    help="client id for per-client counters such as "
                         "truncated_lsn (default 'stats')")

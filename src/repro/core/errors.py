@@ -106,6 +106,23 @@ class CrashedError(LogError):
     """An operation was attempted on a crashed node."""
 
 
+class TenantQuotaExceeded(LogError):
+    """A server refused an operation because the tenant is over quota.
+
+    Unlike :class:`ServerUnavailable` this is *not* a per-server
+    condition — every server in the fleet enforces the same tenant
+    quota, so switching write-set members cannot help.  The client
+    backs off on its retry schedule instead (admission back-pressure).
+    """
+
+    def __init__(self, server_id: str, reason: str = "over quota"):
+        super().__init__(
+            f"log server {server_id!r} refused for quota: {reason}"
+        )
+        self.server_id = server_id
+        self.reason = reason
+
+
 class StorageError(LogError):
     """A server's durable storage failed (disk full, IO error).
 

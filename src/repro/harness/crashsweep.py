@@ -565,7 +565,9 @@ async def _daemon_verify(addresses: dict, state: dict) -> list[str]:
             except LogError as exc:
                 errors.append(f"acked lsn {lsn} lost after restart: {exc}")
                 continue
-            if not record.present or record.data != data:
+            # read() raises RecordNotPresent (a LogError, caught above)
+            # for masked records; a returned LogRecord is always present.
+            if record.data != data:
                 errors.append(f"acked lsn {lsn} wrong after restart: "
                               f"{record.data!r} != {data!r}")
         if state["acked"] and log.end_of_log() < max(state["acked"]):

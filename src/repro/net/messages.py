@@ -244,6 +244,10 @@ ERR_GENERIC = 0
 ERR_STORAGE = 1
 #: The request violated the protocol (bad epoch, conflicting rewrite).
 ERR_PROTOCOL = 2
+#: The tenant is over an admission quota (streams or records/s).  A
+#: fleet-wide condition, not a per-server one: the client should back
+#: off and retry, not switch servers.
+ERR_QUOTA = 3
 
 
 @dataclass(slots=True)
@@ -338,6 +342,9 @@ STATS_COUNTERS: tuple[str, ...] = (
     "records_per_fsync",   # records_appended // fsyncs — the batching win
     "forces_coalesced",    # forces that rode a shared group fsync
     "send_iovecs",         # buffers handed to vectored reply writes
+    # multi-tenant admission (appended after the group-commit block)
+    "quota_rejections",    # writes/forces refused with ERR_QUOTA
+    "tenant_streams",      # distinct client streams admitted, all tenants
 )
 
 

@@ -15,6 +15,9 @@ LAN contention, failure injection), this package *runs* it:
   server processes for tests and benchmarks;
 * :mod:`repro.rt.loadgen` — an ET1-shaped load driver reporting
   throughput and ForceLog latency percentiles;
+* :mod:`repro.rt.placement` — consistent-hash placement of tenant
+  streams over the fleet, the ``placements.json`` cluster spec, and
+  per-tenant quotas (the sharded multi-tenant layer over the runtime);
 * :mod:`repro.rt.faultfs` — injectable storage I/O backends (the
   deterministic fault layer behind ``repro crashsweep``);
 * :mod:`repro.rt.chaosproxy` — a fault-injecting TCP proxy (stall,
@@ -31,26 +34,56 @@ from .client import AsyncReplicatedLog, ServerConnection, async_retry
 from .cluster import LoopbackCluster, ServerProcess
 from .faultfs import FaultInjector, FaultPlan, PassthroughIO, PowerLoss
 from .filestore import FileLogStore, FilePageStore
-from .loadgen import LoadReport, run_loadgen, run_loadgen_sync
+from .loadgen import (
+    LoadReport,
+    MultiLoadReport,
+    run_loadgen,
+    run_loadgen_sync,
+    run_multi_loadgen,
+    run_multi_loadgen_sync,
+)
+from .placement import (
+    ClusterSpec,
+    HashRing,
+    PlacementDirectory,
+    TenantQuota,
+    derive_client_seed,
+    load_cluster_spec,
+    loadgen_client_ids,
+    qualified_client_id,
+    tenant_of,
+)
 from .server import LogServerDaemon, run_server
 
 __all__ = [
     "AsyncReplicatedLog",
     "ChaosProxy",
+    "ClusterSpec",
     "FaultInjector",
     "FaultPlan",
     "FileLogStore",
     "FilePageStore",
+    "HashRing",
     "LoadReport",
     "LogServerDaemon",
     "LoopbackCluster",
+    "MultiLoadReport",
     "PassthroughIO",
+    "PlacementDirectory",
     "PowerLoss",
     "ProxiedCluster",
     "ServerConnection",
     "ServerProcess",
+    "TenantQuota",
     "async_retry",
+    "derive_client_seed",
+    "load_cluster_spec",
+    "loadgen_client_ids",
+    "qualified_client_id",
     "run_loadgen",
     "run_loadgen_sync",
+    "run_multi_loadgen",
+    "run_multi_loadgen_sync",
     "run_server",
+    "tenant_of",
 ]

@@ -57,6 +57,7 @@ from ..core.errors import (
     RecordNotPresent,
     ServerUnavailable,
     StaleEpoch,
+    TenantQuotaExceeded,
 )
 from ..core.epoch import read_quorum_size, write_quorum_size
 from ..core.intervals import MergedIntervalMap, ServerIntervals
@@ -70,6 +71,7 @@ from ..core.records import (
 from ..core.retry import RetryPolicy
 from ..net.codec import FrameReader, encode_stored_record, frame, frame_iov
 from ..net.messages import (
+    ERR_QUOTA,
     CopyLogCall,
     ErrorReply,
     ForceLogMsg,
@@ -93,6 +95,19 @@ from ..net.messages import (
 )
 from ..net.packet import PACKET_PAYLOAD_BYTES
 from . import clientfault
+from .placement import PlacementDirectory
+
+
+def _reply_error(server_id: str, reply: ErrorReply) -> Exception:
+    """The exception a typed ErrorReply maps to.
+
+    ``ERR_QUOTA`` is a fleet-wide admission condition — back off, do
+    not switch servers; everything else stays the per-server failure
+    the core algorithm routes around.
+    """
+    if reply.code == ERR_QUOTA:
+        return TenantQuotaExceeded(server_id, reply.reason)
+    return ServerUnavailable(server_id, reply.reason)
 
 
 class ServerConnection:
@@ -217,6 +232,16 @@ class ServerConnection:
                 else:
                     if self._pending:
                         self._pending.pop(0).set_result(msg)
+                    elif (isinstance(msg, ErrorReply)
+                          and self._force_waiters):
+                        # A force refused before durability (tenant
+                        # quota, wedged storage, failed group fsync):
+                        # fail the oldest waiter now instead of letting
+                        # it burn the full ack timeout.
+                        _, fut = self._force_waiters.pop(0)
+                        if not fut.done():
+                            fut.set_exception(
+                                _reply_error(self.server_id, msg))
         except asyncio.CancelledError:
             raise
         except Exception:
@@ -420,7 +445,7 @@ class ServerConnection:
             self._abort("call timed out")
             raise ServerUnavailable(self.server_id, "call timed out") from exc
         if isinstance(reply, ErrorReply):
-            raise ServerUnavailable(self.server_id, reply.reason)
+            raise _reply_error(self.server_id, reply)
         return reply
 
     async def force(self, msg: ForceLogMsg,
@@ -560,16 +585,21 @@ class AdaptiveDelta:
 class AsyncReplicatedLog:
     """Client-side replicated log over ``M`` real servers, ``N`` copies.
 
-    ``servers`` maps server id → ``(host, port)``.  The instance is
-    not safe for concurrent use by multiple tasks (the paper's log is
-    single-client by design; run one instance per client task).
+    ``servers`` maps server id → ``(host, port)``, or is a
+    :class:`~repro.rt.placement.PlacementDirectory` — then the roster,
+    the ``(M, N, δ)`` configuration, and the write-set preference
+    order are all computed from the fleet spec (``config`` may be
+    omitted), and :meth:`apply_placement` migrates the write set live
+    when the roster changes.  The instance is not safe for concurrent
+    use by multiple tasks (the paper's log is single-client by design;
+    run one instance per client task).
     """
 
     def __init__(
         self,
         client_id: str,
-        servers: Mapping[str, tuple[str, int]],
-        config: ReplicationConfig,
+        servers: "Mapping[str, tuple[str, int]] | PlacementDirectory",
+        config: ReplicationConfig | None = None,
         *,
         retry_policy: RetryPolicy | None = None,
         rng: random.Random | None = None,
@@ -580,6 +610,16 @@ class AsyncReplicatedLog:
         keepalive_misses: int = 2,
         slow_strike_limit: int = 3,
     ):
+        self._placement: PlacementDirectory | None = None
+        if isinstance(servers, PlacementDirectory):
+            self._placement = servers
+            if config is None:
+                config = servers.config()
+            servers = servers.addresses()
+        if config is None:
+            raise NotEnoughServers(
+                "config is required unless servers is a PlacementDirectory"
+            )
         if len(servers) != config.total_servers:
             raise NotEnoughServers(
                 f"configuration names M={config.total_servers} servers "
@@ -595,13 +635,11 @@ class AsyncReplicatedLog:
         #: consecutive queue-full strikes that demote a write-set
         #: server (the Section 5.4 "switch servers when necessary").
         self.slow_strike_limit = slow_strike_limit
+        self._conn_params = dict(send_queue_limit=send_queue_limit,
+                                 keepalive_interval=keepalive_interval,
+                                 keepalive_misses=keepalive_misses)
         self._conns: dict[str, ServerConnection] = {
-            sid: ServerConnection(sid, host, port, timeout=timeout,
-                                  on_missing=self._on_missing,
-                                  client_id=client_id,
-                                  send_queue_limit=send_queue_limit,
-                                  keepalive_interval=keepalive_interval,
-                                  keepalive_misses=keepalive_misses)
+            sid: self._make_conn(sid, host, port)
             for sid, (host, port) in servers.items()
         }
         self._strikes: dict[str, int] = {}
@@ -633,8 +671,33 @@ class AsyncReplicatedLog:
         self.slow_strikes = 0
         self.truncations_requested = 0
         self.records_truncated = 0
+        self.quota_throttles = 0
+        self.rebalance_moves = 0
 
     # -- connection management ----------------------------------------
+
+    def _make_conn(self, sid: str, host: str, port: int) -> ServerConnection:
+        return ServerConnection(sid, host, port, timeout=self.timeout,
+                                on_missing=self._on_missing,
+                                client_id=self.client_id,
+                                **self._conn_params)
+
+    def _candidate_order(self) -> list[str]:
+        """Servers in the order recovery installs and switches try them.
+
+        With a placement directory this is the client's ring-walk
+        preference (write set first, then spares), so a deliberate
+        rebalance and a crash-driven Section 5.4 switch land on the
+        same replacement.  Without one it is the historical sorted-id
+        order.  Connections outside the current roster (still draining
+        after a rebalance) sort last.
+        """
+        if self._placement is None:
+            return sorted(self._conns)
+        pref = [sid for sid in self._placement.preference(self.client_id)
+                if sid in self._conns]
+        return pref + [sid for sid in sorted(self._conns)
+                       if sid not in pref]
 
     async def _ensure_connections(self) -> list[str]:
         """(Re)connect every dead server; return ids of live ones."""
@@ -801,7 +864,8 @@ class AsyncReplicatedLog:
         ]
         clientfault.hit("client.recovery.staged")
         ordered = list(self._write_set) + [
-            sid for sid in sorted(self._conns) if sid not in self._write_set
+            sid for sid in self._candidate_order()
+            if sid not in self._write_set
         ]
         installed: list[str] = []
         for sid in ordered:
@@ -970,6 +1034,12 @@ class AsyncReplicatedLog:
                 return_exceptions=True,
             )
             for sid, result in zip(targets, results):
+                if isinstance(result, TenantQuotaExceeded):
+                    # A fleet-wide admission condition: switching
+                    # servers cannot help, so back off on the retry
+                    # schedule instead of burning a spare.
+                    self.quota_throttles += 1
+                    raise result
                 if isinstance(result, ServerUnavailable):
                     if sid in self._write_set:
                         await self._replace_server(sid, records)
@@ -983,8 +1053,11 @@ class AsyncReplicatedLog:
             default=0,
         )
         t0 = loop.time()
-        high = await async_retry(guarded, self.retry_policy, self.rng,
-                                 on_retry=self._reconnect_for_retry)
+        high = await async_retry(
+            guarded, self.retry_policy, self.rng,
+            retry_on=(NotEnoughServers, TenantQuotaExceeded),
+            on_retry=self._reconnect_for_retry,
+        )
         clientfault.hit("client.force.acked")
         self.delta_controller.observe_force(loop.time() - t0,
                                             len(records), queue_depth)
@@ -1022,37 +1095,96 @@ class AsyncReplicatedLog:
                 return  # another path already replaced it
             clientfault.hit("client.switch.begin")
             live = await self._ensure_connections()
-            spares = [sid for sid in sorted(live)
-                      if sid not in self._write_set]
+            spares = [sid for sid in self._candidate_order()
+                      if sid in live and sid not in self._write_set]
             pending = pending or tuple(self._window) + tuple(self._buffer)
-            merged = self._require_init()
             for spare in spares:
-                conn = self._conns[spare]
-                try:
-                    if pending:
-                        await conn.send(NewIntervalMsg(
-                            self.client_id, self._epoch,
-                            starting_lsn=pending[0].lsn,
-                        ))
-                        await conn.force(ForceLogMsg(
-                            self.client_id, self._epoch, pending
-                        ))
-                except ServerUnavailable:
-                    continue
-                # The spare holds the window but is not yet in the
-                # write set — the exact mid-switch seam.
-                clientfault.hit("client.switch.feed")
-                index = self._write_set.index(dead_sid)
-                self._write_set[index] = spare
-                self._strikes.pop(dead_sid, None)
-                for record in pending:
-                    merged.note(record.lsn, self._epoch, spare)
-                self.server_switches += 1
-                clientfault.hit("client.switch.done")
-                return
+                if await self._switch_member(dead_sid, spare, pending):
+                    self.server_switches += 1
+                    clientfault.hit("client.switch.done")
+                    return
             raise NotEnoughServers(
                 f"no spare server available to replace {dead_sid}"
             )
+
+    async def _switch_member(
+        self, old_sid: str, new_sid: str,
+        pending: tuple[StoredRecord, ...],
+    ) -> bool:
+        """Section 5.4's write-set switch, one member at a time.
+
+        Feed ``new_sid`` the unacknowledged window (NewInterval, then a
+        ForceLog so the records are durable there *before* the swap),
+        then replace ``old_sid`` in the write set.  Returns False if
+        the incoming server refused the feed — the caller tries the
+        next candidate.  Callers hold ``_switch_lock``.
+        """
+        merged = self._require_init()
+        conn = self._conns[new_sid]
+        try:
+            if pending:
+                await conn.send(NewIntervalMsg(
+                    self.client_id, self._epoch,
+                    starting_lsn=pending[0].lsn,
+                ))
+                await conn.force(ForceLogMsg(
+                    self.client_id, self._epoch, pending
+                ))
+        except ServerUnavailable:
+            return False
+        # The incoming server holds the window but is not yet in the
+        # write set — the exact mid-switch seam.
+        clientfault.hit("client.switch.feed")
+        index = self._write_set.index(old_sid)
+        self._write_set[index] = new_sid
+        self._strikes.pop(old_sid, None)
+        for record in pending:
+            merged.note(record.lsn, self._epoch, new_sid)
+        return True
+
+    async def apply_placement(self, directory: "PlacementDirectory") -> list[tuple[str, str]]:
+        """Adopt a new placement directory, rebalancing live if needed.
+
+        Called when the roster changes (server added or retired).  The
+        client reconciles its write set with the directory's write set
+        for this client id, moving each outgoing member through the
+        same §5.4 switch the failure path uses — the unacknowledged
+        window is forced onto the incoming server before the swap, so
+        no acknowledged record ever drops below ``N`` copies.  Members
+        already in the new write set stay put: a roster change of one
+        server moves only the clients whose write set contained it.
+
+        Returns the ``(old_sid, new_sid)`` pairs actually switched.
+        """
+        self._require_init()
+        async with self._switch_lock:
+            self._placement = directory
+            # New roster entries need live connections before they can
+            # be fed; config tracks the (possibly resized) fleet.
+            addresses = directory.addresses()
+            for sid, (host, port) in addresses.items():
+                if sid not in self._conns:
+                    self._conns[sid] = self._make_conn(sid, host, port)
+            self.config = directory.config()
+            await self._ensure_connections()
+            target = [sid for sid in directory.write_set(self.client_id)
+                      if sid in self._conns]
+            outgoing = [sid for sid in self._write_set if sid not in target]
+            incoming = [sid for sid in target if sid not in self._write_set]
+            pending = tuple(self._window) + tuple(self._buffer)
+            moves: list[tuple[str, str]] = []
+            for old_sid, new_sid in zip(outgoing, incoming):
+                if await self._switch_member(old_sid, new_sid, pending):
+                    moves.append((old_sid, new_sid))
+                    self.rebalance_moves += 1
+            # Drop connections to servers that left the roster once
+            # they are out of the write set; reads of old records they
+            # stored are redirected by the merged interval map to the
+            # surviving copies.
+            for sid in list(self._conns):
+                if sid not in addresses and sid not in self._write_set:
+                    self._conns.pop(sid)._abort("left roster")
+            return moves
 
     # -- Section 5.3: log space management ----------------------------
 

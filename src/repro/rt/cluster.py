@@ -233,6 +233,34 @@ class LoopbackCluster:
         return {sid: entry.address for sid, entry in self.servers.items()
                 if entry.port}
 
+    def cluster_spec(self, *, copies: int = 2, delta: int = 8,
+                     vnodes: int | None = None, quotas=None):
+        """A :class:`~repro.rt.placement.ClusterSpec` over this roster.
+
+        Built after :meth:`start` (the ephemeral ports must be known);
+        the spec feeds a placement directory or ``write_spec`` for the
+        CLI tools.
+        """
+        from .placement import DEFAULT_VNODES, ClusterSpec
+        return ClusterSpec(
+            servers=self.addresses(),
+            copies=copies,
+            delta=delta,
+            vnodes=vnodes if vnodes is not None else DEFAULT_VNODES,
+            quotas=dict(quotas or {}),
+        )
+
+    def write_spec(self, path: str | None = None, **spec_kwargs) -> str:
+        """Write ``placements.json`` for this cluster; return its path.
+
+        Defaults to ``<root_dir>/placements.json`` — the file the CLI
+        tools (``repro ring/loadgen/stats --cluster-spec``) consume.
+        """
+        spec = self.cluster_spec(**spec_kwargs)
+        if path is None:
+            path = os.path.join(self.root_dir, "placements.json")
+        return spec.save(path)
+
     def __enter__(self) -> "LoopbackCluster":
         self.start()
         return self

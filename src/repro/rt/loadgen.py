@@ -18,13 +18,24 @@ bounded during long runs.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Union
 
 from ..core.config import ReplicationConfig
+from ..core.errors import TenantQuotaExceeded
 from ..workload.et1 import Et1Params, et1_log_pattern
 from .client import AsyncReplicatedLog
+from .placement import (
+    PlacementDirectory,
+    derive_client_seed,
+    loadgen_client_ids,
+)
+
+#: Either an explicit roster or a placement directory; the directory
+#: carries its own (M, N, δ) so ``config`` may then be None.
+ServerSource = Union[Mapping[str, tuple[str, int]], PlacementDirectory]
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:
@@ -51,6 +62,7 @@ class LoadReport:
     client_id: str = ""
     truncations: int = 0
     records_truncated: int = 0
+    quota_throttles: int = 0
 
     @property
     def records_per_sec(self) -> float:
@@ -83,12 +95,13 @@ class LoadReport:
             "final_high_lsn": self.final_high_lsn,
             "truncations": self.truncations,
             "records_truncated": self.records_truncated,
+            "quota_throttles": self.quota_throttles,
         }
 
 
 async def run_loadgen(
-    servers: Mapping[str, tuple[str, int]],
-    config: ReplicationConfig,
+    servers: ServerSource,
+    config: ReplicationConfig | None = None,
     *,
     client_id: str = "loadgen",
     duration_s: float = 5.0,
@@ -96,6 +109,7 @@ async def run_loadgen(
     params: Et1Params | None = None,
     log: AsyncReplicatedLog | None = None,
     truncate_every: int = 0,
+    rng_seed: int | None = None,
 ) -> LoadReport:
     """Closed-loop ET1 transactions until ``duration_s`` elapses.
 
@@ -106,13 +120,21 @@ async def run_loadgen(
     transactions, keeping the low-water mark ``δ`` records behind the
     durable high so the working set — client map, server memory, and
     on-disk log — stays bounded for arbitrarily long runs.
+
+    ``rng_seed`` seeds the client's retry-jitter RNG, making a K-client
+    sweep reproducible end to end; a quota-throttled commit
+    (:class:`TenantQuotaExceeded` surviving the force retry schedule)
+    is tolerated — the records stay in the unacknowledged window, the
+    generator sleeps one beat, and the next commit force re-sends them.
     """
     params = params if params is not None else Et1Params()
     own_log = log is None
     if log is None:
-        log = AsyncReplicatedLog(client_id, servers, config)
+        rng = random.Random(rng_seed) if rng_seed is not None else None
+        log = AsyncReplicatedLog(client_id, servers, config, rng=rng)
         await log.initialize()
     report = LoadReport(client_id=log.client_id)
+    delta = log.config.delta
     start = time.monotonic()
     seq = 0
     try:
@@ -122,18 +144,26 @@ async def run_loadgen(
                 break
             if max_txns is not None and report.transactions >= max_txns:
                 break
-            for data, kind, forced in et1_log_pattern(params, seq):
-                await log.write(data, kind=kind)
-                report.records_written += 1
-                report.bytes_written += len(data)
-                if forced:
-                    t0 = time.monotonic()
-                    await log.force()
-                    report.force_latencies_s.append(time.monotonic() - t0)
+            try:
+                for data, kind, forced in et1_log_pattern(params, seq):
+                    await log.write(data, kind=kind)
+                    report.records_written += 1
+                    report.bytes_written += len(data)
+                    if forced:
+                        t0 = time.monotonic()
+                        await log.force()
+                        report.force_latencies_s.append(
+                            time.monotonic() - t0)
+            except TenantQuotaExceeded:
+                # Admission back-pressure outlived the retry schedule;
+                # the transaction is not counted, its records ride the
+                # window into the next commit force.
+                await asyncio.sleep(0.05)
+                continue
             report.transactions += 1
             seq += 1
             if truncate_every and report.transactions % truncate_every == 0:
-                low_water = log.end_of_log() - config.delta
+                low_water = log.end_of_log() - delta
                 if low_water > 1:
                     report.records_truncated += await log.truncate(low_water)
                     report.truncations += 1
@@ -141,6 +171,7 @@ async def run_loadgen(
         report.server_switches = log.server_switches
         report.final_epoch = log.current_epoch
         report.final_high_lsn = log.end_of_log()
+        report.quota_throttles = log.quota_throttles
     finally:
         if own_log:
             await log.close()
@@ -194,17 +225,21 @@ class MultiLoadReport:
             "records_per_sec": round(self.records_per_sec, 3),
             "force_p50_ms": round(self.force_p50_ms, 3),
             "force_p99_ms": round(self.force_p99_ms, 3),
+            "quota_throttles": sum(r.quota_throttles
+                                   for r in self.per_client),
             "per_client": [r.as_dict() | {"client_id": r.client_id}
                            for r in self.per_client],
         }
 
 
 async def run_multi_loadgen(
-    servers: Mapping[str, tuple[str, int]],
-    config: ReplicationConfig,
+    servers: ServerSource,
+    config: ReplicationConfig | None = None,
     *,
     clients: int = 2,
     client_id: str = "lg",
+    tenants: int = 0,
+    base_seed: int | None = None,
     **kwargs,
 ) -> MultiLoadReport:
     """``clients`` concurrent closed-loop ET1 clients on one event loop.
@@ -212,15 +247,23 @@ async def run_multi_loadgen(
     Each client is its own :class:`AsyncReplicatedLog` (the paper's
     log is single-client by design — scaling comes from running many
     logs against the shared servers, Section 2's "few hundred clients"
-    regime).  Per-client ids are ``<client_id>-<i>``; the aggregate
-    report sums them.
+    regime).  Per-client ids come from
+    :func:`~repro.rt.placement.loadgen_client_ids` — plain
+    ``<client_id>-<i>`` streams, or ``t<j>/<client_id>-<i>`` tenant
+    streams when ``tenants`` > 0 — so the placement ring and the quota
+    tables see the same names the CLI prints.  ``base_seed`` derives a
+    distinct deterministic RNG seed per client index, making the whole
+    sweep reproducible.
     """
     report = MultiLoadReport()
+    ids = loadgen_client_ids(clients, tenants=tenants, prefix=client_id)
     start = time.monotonic()
     results = await asyncio.gather(*(
-        run_loadgen(servers, config,
-                    client_id=f"{client_id}-{i + 1}", **kwargs)
-        for i in range(clients)
+        run_loadgen(servers, config, client_id=cid,
+                    rng_seed=(derive_client_seed(base_seed, i)
+                              if base_seed is not None else None),
+                    **kwargs)
+        for i, cid in enumerate(ids)
     ))
     report.per_client = list(results)
     report.duration_s = time.monotonic() - start
@@ -228,8 +271,8 @@ async def run_multi_loadgen(
 
 
 def run_loadgen_sync(
-    servers: Mapping[str, tuple[str, int]],
-    config: ReplicationConfig,
+    servers: ServerSource,
+    config: ReplicationConfig | None = None,
     **kwargs,
 ) -> LoadReport:
     """Blocking wrapper for the CLI and benchmarks."""
@@ -237,8 +280,8 @@ def run_loadgen_sync(
 
 
 def run_multi_loadgen_sync(
-    servers: Mapping[str, tuple[str, int]],
-    config: ReplicationConfig,
+    servers: ServerSource,
+    config: ReplicationConfig | None = None,
     **kwargs,
 ) -> MultiLoadReport:
     """Blocking wrapper for ``repro loadgen --clients K``."""

@@ -43,7 +43,9 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import time
 from bisect import bisect_left, bisect_right
+from typing import Mapping
 
 from ..core.errors import LogError, ProtocolError, RecordNotStored, StorageError
 from ..core.records import LSN, StoredRecord
@@ -51,6 +53,7 @@ from ..net.codec import FrameReader, frame, frame_new_high_lsn
 from ..net.messages import (
     ERR_GENERIC,
     ERR_PROTOCOL,
+    ERR_QUOTA,
     ERR_STORAGE,
     RECORD_HEADER_BYTES,
     STATS_COUNTERS,
@@ -82,6 +85,7 @@ from ..net.messages import (
 from ..net.packet import PACKET_PAYLOAD_BYTES
 from .faultfs import FaultInjector, parse_fault_plans
 from .filestore import FileLogStore
+from .placement import TenantQuota, load_cluster_spec, tenant_of
 
 log = logging.getLogger(__name__)
 
@@ -97,11 +101,15 @@ class LogServerDaemon:
         *,
         read_budget_bytes: int = PACKET_PAYLOAD_BYTES,
         group_commit: bool = True,
+        quotas: Mapping[str, TenantQuota] | None = None,
     ):
         self.store = store
         self.host = host
         self.port = port
         self.read_budget_bytes = read_budget_bytes
+        #: tenant → admission limits ("*" is the default tenant); empty
+        #: means no multi-tenant admission control at all.
+        self.quotas: dict[str, TenantQuota] = dict(quotas or {})
         #: when set (the default), concurrent ForceLogs share one fsync
         #: via the parked sync generation; clearing it restores the
         #: inline append+fsync+ack path of :meth:`_dispatch`.
@@ -116,6 +124,11 @@ class LogServerDaemon:
             tuple[asyncio.StreamWriter, str, LSN]] = []
         self._sync_task: asyncio.Task | None = None
         self._sync_wanted = asyncio.Event()
+        #: tenant → client streams this daemon has admitted.
+        self._tenant_streams: dict[str, set[str]] = {}
+        #: tenant → [tokens, last_refill] for the records/s bucket.
+        self._tenant_buckets: dict[str, list[float]] = {}
+        self.quota_rejections = 0
         self.messages_handled = 0
         self.missing_intervals_sent = 0
         self.forces_acked = 0
@@ -166,7 +179,11 @@ class LogServerDaemon:
                 if msg is None:
                     break
                 self.messages_handled += 1
-                if self.group_commit and isinstance(msg, ForceLogMsg):
+                denial = (self._admit(msg) if self.quotas
+                          and isinstance(msg, WriteLogMsg) else None)
+                if denial is not None:
+                    replies = [denial]
+                elif self.group_commit and isinstance(msg, ForceLogMsg):
                     replies = self._park_force(msg, writer, images)
                 else:
                     replies = self._dispatch(msg, images)
@@ -266,6 +283,61 @@ class LogServerDaemon:
                 self.send_iovecs += len(bufs)
         except (ConnectionError, OSError):  # pragma: no cover - races
             pass
+
+    # -- multi-tenant admission ----------------------------------------
+
+    def _admit(self, msg: WriteLogMsg) -> ErrorReply | None:
+        """Enforce the tenant's quota on a WriteLog/ForceLog.
+
+        Stream admission counts distinct client ids per tenant; the
+        records/s limit is a token bucket charged per *forced* record
+        (a force re-sends its whole unacknowledged window, so charging
+        forces meters exactly what gets durably acknowledged — streamed
+        WriteLogs ride free until their covering force).  A denial is a
+        typed ``ErrorReply`` (``ERR_QUOTA``) and nothing is appended,
+        the same reply shape a wedged disk produces — clients already
+        know how to react to a refused call, they just back off instead
+        of switching servers.
+        """
+        tenant = tenant_of(msg.client_id)
+        quota = self.quotas.get(tenant)
+        if quota is None:
+            quota = self.quotas.get("*")
+        if quota is None:
+            return None
+        streams = self._tenant_streams.setdefault(tenant, set())
+        if msg.client_id not in streams:
+            if quota.max_streams and len(streams) >= quota.max_streams:
+                self.quota_rejections += 1
+                return ErrorReply(
+                    msg.client_id,
+                    f"tenant {tenant!r} stream quota "
+                    f"({quota.max_streams}) exhausted",
+                    code=ERR_QUOTA,
+                )
+            streams.add(msg.client_id)
+        if quota.max_records_per_s and isinstance(msg, ForceLogMsg):
+            now = time.monotonic()
+            bucket = self._tenant_buckets.get(tenant)
+            capacity = quota.max_records_per_s * max(quota.burst_s, 0.001)
+            if bucket is None:
+                bucket = [capacity, now]
+                self._tenant_buckets[tenant] = bucket
+            tokens = min(capacity,
+                         bucket[0] + (now - bucket[1])
+                         * quota.max_records_per_s)
+            bucket[1] = now
+            if tokens < len(msg.records):
+                bucket[0] = tokens
+                self.quota_rejections += 1
+                return ErrorReply(
+                    msg.client_id,
+                    f"tenant {tenant!r} over {quota.max_records_per_s:g} "
+                    f"records/s",
+                    code=ERR_QUOTA,
+                )
+            bucket[0] = tokens - len(msg.records)
+        return None
 
     # -- dispatch -----------------------------------------------------
 
@@ -425,6 +497,9 @@ class LogServerDaemon:
                 if store.fsyncs else 0),
             "forces_coalesced": self.forces_coalesced,
             "send_iovecs": self.send_iovecs,
+            "quota_rejections": self.quota_rejections,
+            "tenant_streams": sum(len(s)
+                                  for s in self._tenant_streams.values()),
         }
         counters = tuple(values[name] for name in STATS_COUNTERS)
         return StatsReply(msg.client_id, counters)
@@ -450,12 +525,18 @@ async def run_server(
     fault_plan: str | None = None,
     fault_trace: str | None = None,
     group_commit: bool = True,
+    cluster_spec: str | None = None,
 ) -> None:
     """Run one daemon until cancelled (the ``repro serve`` entry point).
 
     Prints ``REPRO-SERVE <server_id> <host> <port>`` once listening so
     a parent process (:mod:`repro.rt.cluster`) can harvest the
     ephemeral port.
+
+    ``cluster_spec`` names a ``placements.json`` file; the daemon reads
+    its per-tenant quotas (the roster section is for clients — the
+    daemon still binds ``host:port`` from its own arguments, since
+    harness-spawned daemons use ephemeral ports the spec cannot know).
 
     ``fault_plan`` (comma-separated ``site:index:action`` specs) arms
     storage faults via :class:`~repro.rt.faultfs.FaultInjector`; an
@@ -468,10 +549,13 @@ async def run_server(
     if fault_plan is not None or fault_trace is not None:
         plans = parse_fault_plans(fault_plan) if fault_plan else ()
         io = FaultInjector(plans, mode="exit", trace_path=fault_trace)
+    quotas = (load_cluster_spec(cluster_spec).quotas
+              if cluster_spec is not None else None)
     store = FileLogStore(data_dir, server_id,
                          compact_watermark_bytes=compact_watermark_bytes,
                          io=io)
-    daemon = LogServerDaemon(store, host, port, group_commit=group_commit)
+    daemon = LogServerDaemon(store, host, port, group_commit=group_commit,
+                             quotas=quotas)
     await daemon.start()
     announce(f"REPRO-SERVE {server_id} {daemon.host} {daemon.port}",
              flush=True)

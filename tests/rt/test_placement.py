@@ -1,0 +1,246 @@
+"""Properties of the consistent-hash placement layer.
+
+The placement contract has three legs the paper's Section 5.4 write-set
+assignment never needed (it was by hand) but a shared fleet does:
+
+1. **Balance** — at ≥100 vnodes the busiest server carries at most a
+   small constant multiple of the idlest one's streams;
+2. **Minimal movement** — removing or adding one of M servers remaps
+   only ~1/M of single-successor keys, and only clients whose write
+   set contained the removed server move at all;
+3. **Determinism** — the ring is a pure function of the roster, so two
+   processes (here: this test process and a ``repro ring --json``
+   subprocess) compute byte-identical assignments.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.rt.placement import (
+    ClusterSpec,
+    HashRing,
+    PlacementDirectory,
+    TenantQuota,
+    derive_client_seed,
+    load_cluster_spec,
+    loadgen_client_ids,
+    qualified_client_id,
+    tenant_of,
+)
+
+# -- strategies -------------------------------------------------------------
+
+server_rosters = st.integers(min_value=3, max_value=12).map(
+    lambda m: [f"s{i + 1}" for i in range(m)]
+)
+
+
+def _keys(count: int) -> list[str]:
+    return [f"t{i % 7}/c{i}" for i in range(count)]
+
+
+# -- balance ----------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(roster=server_rosters)
+def test_ring_balance_within_constant_factor(roster):
+    """At 128 vnodes the busiest/idlest stream ratio stays small."""
+    ring = HashRing(roster, vnodes=128)
+    keys = _keys(200 * len(roster))
+    per_server = {sid: 0 for sid in roster}
+    for key in keys:
+        per_server[ring.successors(key, 1)[0]] += 1
+    busiest = max(per_server.values())
+    idlest = min(per_server.values())
+    assert idlest > 0, "a server got no streams at all"
+    assert busiest <= 3 * idlest, per_server
+
+
+# -- minimal movement -------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(roster=server_rosters)
+def test_ring_minimal_movement_on_remove(roster):
+    """Dropping one of M servers remaps ~1/M of single-successor keys."""
+    ring = HashRing(roster)
+    smaller = ring.without_server(roster[0])
+    keys = _keys(100 * len(roster))
+    moved = sum(
+        1 for key in keys
+        if ring.successors(key, 1) != smaller.successors(key, 1)
+    )
+    # Expectation is len(keys)/M; allow 2x plus slack for small samples.
+    bound = 2 * len(keys) // len(roster) + 10
+    assert moved <= bound, (moved, bound)
+    # And every key that moved was on the removed server before.
+    for key in keys:
+        if ring.successors(key, 1) != smaller.successors(key, 1):
+            assert ring.successors(key, 1) == [roster[0]]
+
+
+@settings(max_examples=20, deadline=None)
+@given(roster=server_rosters)
+def test_ring_add_is_inverse_of_remove(roster):
+    ring = HashRing(roster)
+    assert ring.without_server(roster[-1]).with_server(
+        roster[-1]).server_ids == ring.server_ids
+
+
+@settings(max_examples=15, deadline=None)
+@given(roster=server_rosters)
+def test_directory_moves_only_affected_write_sets(roster):
+    """A one-server roster change moves ≈ K·N/M clients — exactly
+    those whose write set contained the removed server."""
+    addrs = {sid: ("127.0.0.1", 4000 + i)
+             for i, sid in enumerate(roster)}
+    directory = PlacementDirectory(ClusterSpec(servers=addrs, copies=2))
+    changed = directory.without_server(roster[0])
+    keys = _keys(40 * len(roster))
+    moved = directory.moved_clients(changed, keys)
+    for cid in keys:
+        if cid in moved:
+            assert roster[0] in directory.write_set(cid)
+        else:
+            assert set(directory.write_set(cid)) == \
+                set(changed.write_set(cid))
+    # E[moved] = K * N / M; bound at 2x plus slack.
+    bound = 2 * len(keys) * 2 // len(roster) + 10
+    assert len(moved) <= bound, (len(moved), bound)
+
+
+# -- write-set shape --------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(roster=server_rosters, copies=st.integers(min_value=1, max_value=3))
+def test_write_sets_are_distinct_and_sized(roster, copies):
+    directory = PlacementDirectory(ClusterSpec(
+        servers={sid: ("127.0.0.1", 4000 + i)
+                 for i, sid in enumerate(roster)},
+        copies=copies,
+    ))
+    for cid in _keys(50):
+        ws = directory.write_set(cid)
+        assert len(ws) == copies
+        assert len(set(ws)) == copies
+        pref = directory.preference(cid)
+        assert pref[:copies] == ws
+        assert sorted(pref) == sorted(roster)
+
+
+def test_ring_rejects_impossible_requests():
+    ring = HashRing(["s1", "s2"])
+    with pytest.raises(ConfigurationError):
+        ring.successors("k", 3)
+    with pytest.raises(ConfigurationError):
+        HashRing([])
+    with pytest.raises(ConfigurationError):
+        HashRing(["s1"], vnodes=0)
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_ring_is_deterministic_across_instances():
+    a = HashRing(["s1", "s2", "s3"])
+    b = HashRing(["s3", "s2", "s1"])  # roster order must not matter
+    for key in _keys(64):
+        assert a.preference(key) == b.preference(key)
+    assert a._hashes == b._hashes
+
+
+def test_directory_digest_tracks_roster_only():
+    addrs = {f"s{i}": ("127.0.0.1", 4000 + i) for i in range(4)}
+    a = PlacementDirectory(ClusterSpec(servers=dict(addrs), copies=2))
+    b = PlacementDirectory(ClusterSpec(servers=dict(addrs), copies=2))
+    assert a.digest() == b.digest()
+    assert a.digest() != a.without_server("s0").digest()
+
+
+def test_cross_process_assignments_match(tmp_path: Path):
+    """``repro ring --json`` in a subprocess computes the identical
+    directory this process computes — the coordinator-free contract.
+    PYTHONHASHSEED differs between the processes, so any reliance on
+    the salted builtin ``hash`` would fail here."""
+    spec = ClusterSpec(
+        servers={f"s{i + 1}": ("127.0.0.1", 4100 + i) for i in range(5)},
+        copies=2,
+    )
+    path = spec.save(str(tmp_path / "placements.json"))
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "ring",
+         "--cluster-spec", path, "--clients", "24", "--tenants", "3",
+         "--json"],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src"),
+             "PYTHONHASHSEED": "12345", "PATH": "/usr/bin:/bin"},
+    )
+    remote = json.loads(out.stdout)
+    directory = PlacementDirectory(spec)
+    ids = loadgen_client_ids(24, tenants=3)
+    assert remote["digest"] == directory.digest()
+    assert remote["assignments"] == directory.assignments(ids)
+
+
+# -- spec file round trip ---------------------------------------------------
+
+
+def test_cluster_spec_round_trip(tmp_path: Path):
+    spec = ClusterSpec(
+        servers={"s1": ("127.0.0.1", 4001), "s2": ("10.0.0.2", 4002)},
+        copies=2, delta=16, vnodes=64,
+        quotas={"acme": TenantQuota(max_streams=4,
+                                    max_records_per_s=2000.0,
+                                    burst_s=0.5),
+                "*": TenantQuota(max_streams=100)},
+    )
+    path = spec.save(str(tmp_path / "placements.json"))
+    loaded = load_cluster_spec(path)
+    assert loaded.servers == spec.servers
+    assert (loaded.copies, loaded.delta, loaded.vnodes) == (2, 16, 64)
+    assert loaded.quotas == spec.quotas
+    cfg = loaded.config()
+    assert (cfg.total_servers, cfg.copies, cfg.delta) == (2, 2, 16)
+
+
+def test_cluster_spec_rejects_bad_shapes(tmp_path: Path):
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(servers={"s1": ("h", 1)}, copies=2)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec.from_dict({"servers": {"s1": "4001"}})  # no host
+
+
+# -- tenancy and seeds ------------------------------------------------------
+
+
+def test_tenant_encoding():
+    assert tenant_of("acme/stream-1") == "acme"
+    assert tenant_of("plain") == "plain"
+    assert qualified_client_id("acme", "s1") == "acme/s1"
+    with pytest.raises(ValueError):
+        qualified_client_id("a/b", "s1")
+
+
+def test_loadgen_client_ids_shapes():
+    assert loadgen_client_ids(3) == ["lg-1", "lg-2", "lg-3"]
+    assert loadgen_client_ids(4, tenants=2) == [
+        "t1/lg-1", "t2/lg-2", "t1/lg-3", "t2/lg-4"]
+
+
+def test_derive_client_seed_deterministic_and_distinct():
+    seeds = [derive_client_seed(42, i) for i in range(64)]
+    assert seeds == [derive_client_seed(42, i) for i in range(64)]
+    assert len(set(seeds)) == 64
+    # and not trivially related to neighbouring bases
+    assert derive_client_seed(43, 0) not in seeds
