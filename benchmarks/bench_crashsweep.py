@@ -69,3 +69,50 @@ def test_bench_crashsweep(tmp_path):
         },
         "wall_seconds": wall,
     })
+
+
+def test_bench_netsweep(tmp_path):
+    """Network-phase coverage (EXPERIMENTS.md E18).
+
+    Frame points enumerated, (point, action) cases run against real
+    daemons, §5.4 partition-switch cases, and a 20-case fixed-seed
+    multi-fault fuzz pass.  The trajectory signal mirrors E14: a codec
+    or client change that silently removes frame points (a message
+    fused, an ack elided) shows up as falling ``net_points`` before it
+    becomes a lost-ack bug.
+    """
+    start = time.perf_counter()
+    report = run_crashsweep(SweepConfig(
+        root_dir=str(tmp_path), quick=SMOKE, net=True, net_only=True,
+        fuzz=20, seed=0,
+    ))
+    wall = time.perf_counter() - start
+
+    assert report.net_points_enumerated >= 15
+    assert len(report.net_cases) >= (10 if SMOKE else 40)
+    assert report.net_partition_cases >= (1 if SMOKE else 3)
+    assert len(report.fuzz_cases) == 20
+    assert report.failures == [], [c.as_dict() for c in report.failures]
+
+    emit_table(
+        ["network site", "frames"],
+        sorted(report.net_sites.items()),
+        title=f"frame-point coverage ({'quick' if SMOKE else 'full'})",
+    )
+    emit(f"[bench] {report.net_points_enumerated} frame points, "
+         f"{len(report.net_cases)} net cases "
+         f"({report.net_partition_cases} partition-switch), "
+         f"{len(report.fuzz_cases)} fuzz cases, {wall:.1f}s")
+    emit_json("netsweep", {
+        "params": {"quick": SMOKE, "seed": report.seed, "fuzz": 20},
+        "metrics": {
+            "net_points_enumerated": report.net_points_enumerated,
+            "net_sites": len(report.net_sites),
+            "net_cases_run": len(report.net_cases),
+            "partition_cases_run": report.net_partition_cases,
+            "fuzz_cases_run": len(report.fuzz_cases),
+            "failures": len(report.failures),
+            "sweep_seconds": round(report.duration_s, 3),
+        },
+        "wall_seconds": wall,
+    })

@@ -320,6 +320,12 @@ def _cmd_crashsweep(args: argparse.Namespace) -> int:
 
     from .harness.crashsweep import SweepConfig, run_crashsweep
 
+    # --net / --fuzz / --plan narrow the run to the network phases,
+    # mirroring how --client narrows it to the client phase; a default
+    # full run includes the network sweep unless --no-net is passed.
+    net_only = bool(args.net or args.fuzz or args.plan)
+    run_net = args.net or (not net_only and not args.no_net
+                           and not args.client)
     with tempfile.TemporaryDirectory(prefix="crashsweep-") as tmp:
         report = run_crashsweep(
             SweepConfig(
@@ -330,6 +336,10 @@ def _cmd_crashsweep(args: argparse.Namespace) -> int:
                 daemon=not args.no_daemon,
                 client=not args.no_client,
                 client_only=args.client,
+                net=run_net,
+                fuzz=args.fuzz,
+                net_only=net_only,
+                plan=args.plan,
             ),
             progress=None if args.json else print,
         )
@@ -355,6 +365,17 @@ def _cmd_crashsweep(args: argparse.Namespace) -> int:
                        f"{report.client_points_enumerated} protocol "
                        f"points, {len(report.client_cases)} kill cases, "
                        f"{report.combined_cases_run} combined"),
+            ))
+        if report.net_sites:
+            print(format_table(
+                ["network site", "frames"],
+                [(site, str(n))
+                 for site, n in sorted(report.net_sites.items())],
+                title=(f"network phase — "
+                       f"{report.net_points_enumerated} frame points, "
+                       f"{len(report.net_cases)} fault cases "
+                       f"({report.net_partition_cases} partition-"
+                       f"switch), {len(report.fuzz_cases)} fuzz"),
             ))
         if report.failures:
             print("\nFAILURES:")
@@ -643,7 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "case per site")
     p.add_argument("--point", default=None, metavar="SITE:IDX[:ACTION]",
                    help="replay exactly one crash case (action defaults "
-                        "to power-loss)")
+                        "to power-loss; client.* replays a client-kill "
+                        "case, net.* a frame-fault case with default "
+                        "action drop)")
     p.add_argument("--no-daemon", action="store_true",
                    help="skip the subprocess phase (real 'repro serve' "
                         "daemons crashed over the wire)")
@@ -654,6 +677,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "process")
     p.add_argument("--no-client", action="store_true",
                    help="skip the client phase")
+    p.add_argument("--net", action="store_true",
+                   help="run only the network phase: frame-level "
+                        "faults (drop, corrupt, truncate, duplicate, "
+                        "delay, partition, kill) injected by a "
+                        "protocol-aware proxy fleet fronting real "
+                        "daemons, plus Section 5.4 switch-under-"
+                        "partition cases")
+    p.add_argument("--no-net", action="store_true",
+                   help="skip the network phase in a full run")
+    p.add_argument("--fuzz", type=int, default=0, metavar="N",
+                   help="run N seeded multi-fault fuzz cases composing "
+                        "network, storage, and client faults (2-4 per "
+                        "case); failures print a --plan replay string")
+    p.add_argument("--plan", default=None, metavar="SPEC",
+                   help="replay one composite fuzz plan verbatim: "
+                        "comma-separated [sid@]net.KIND.DIR:IDX:ACTION, "
+                        "[sid@]STORAGE-SITE:IDX:ACTION, and "
+                        "client.SITE:IDX:raise tokens")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of a table")
     p.set_defaults(func=_cmd_crashsweep)

@@ -129,17 +129,24 @@ class SweepReport:
     client_sites: dict[str, int] = field(default_factory=dict)
     client_cases: list[CrashCase] = field(default_factory=list)
     combined_cases_run: int = 0
+    net_points_enumerated: int = 0
+    net_sites: dict[str, int] = field(default_factory=dict)
+    net_cases: list[CrashCase] = field(default_factory=list)
+    net_partition_cases: int = 0
+    fuzz_cases: list[CrashCase] = field(default_factory=list)
     duration_s: float = 0.0
 
     @property
     def failures(self) -> list[CrashCase]:
         return [c for c in self.cases + self.daemon_cases
-                + self.client_cases if not c.ok]
+                + self.client_cases + self.net_cases + self.fuzz_cases
+                if not c.ok]
 
     @property
     def cases_run(self) -> int:
         return (len(self.cases) + len(self.daemon_cases)
-                + len(self.client_cases))
+                + len(self.client_cases) + len(self.net_cases)
+                + len(self.fuzz_cases))
 
     def as_dict(self) -> dict:
         return {
@@ -154,6 +161,11 @@ class SweepReport:
             "client_sites": dict(sorted(self.client_sites.items())),
             "client_cases": [c.as_dict() for c in self.client_cases],
             "combined_cases_run": self.combined_cases_run,
+            "net_points_enumerated": self.net_points_enumerated,
+            "net_sites": dict(sorted(self.net_sites.items())),
+            "net_cases": [c.as_dict() for c in self.net_cases],
+            "net_partition_cases": self.net_partition_cases,
+            "fuzz_cases": [c.as_dict() for c in self.fuzz_cases],
             "failures": [c.as_dict() for c in self.failures],
             "duration_s": round(self.duration_s, 3),
         }
@@ -181,6 +193,19 @@ class SweepConfig:
     client: bool = False
     #: run *only* the client phase (``repro crashsweep --client``).
     client_only: bool = False
+    #: also run the network phase: frame-level faults injected by a
+    #: protocol-aware chaos proxy fleet fronting real daemons
+    #: (``repro crashsweep --net``).
+    net: bool = False
+    #: run N seeded multi-fault fuzz cases composing network, storage,
+    #: and client faults (``repro crashsweep --fuzz N``).
+    fuzz: int = 0
+    #: run *only* the network/fuzz phases, skipping storage + daemon
+    #: + client.
+    net_only: bool = False
+    #: replay one composite fuzz plan verbatim
+    #: (``repro crashsweep --plan SPEC``).
+    plan: str | None = None
 
 
 # -- the scripted workload ---------------------------------------------------
@@ -943,6 +968,19 @@ def run_crashsweep(config: SweepConfig, progress=None) -> SweepReport:
     say(f"crashsweep seed={config.seed} quick={config.quick}")
     start = time.monotonic()
 
+    if config.plan is not None or (
+            config.point is not None
+            and config.point.startswith("net.")):
+        # Replay one network or composite case against real daemons.
+        from .netsweep import run_net_phase
+        net = run_net_phase(root / "net", quick=config.quick,
+                            sweep=False, seed=config.seed, say=say,
+                            point=config.point, plan=config.plan)
+        report.net_cases.extend(net.cases)
+        report.fuzz_cases.extend(net.fuzz_cases)
+        report.duration_s = time.monotonic() - start
+        return report
+
     if config.point is not None and config.point.startswith("client."):
         # Replay one client-phase case: SITE:IDX[:ACTION], exit default.
         plan = FaultPlan.parse(config.point, actions=CLIENT_ACTIONS,
@@ -955,7 +993,7 @@ def run_crashsweep(config: SweepConfig, progress=None) -> SweepReport:
         report.duration_s = time.monotonic() - start
         return report
 
-    if not config.client_only:
+    if not config.client_only and not config.net_only:
         trace = _enumerate_points(root, payloads)
         report.points_enumerated = len(trace)
         for point in trace:
@@ -1019,7 +1057,7 @@ def run_crashsweep(config: SweepConfig, progress=None) -> SweepReport:
                     say(f"FAIL daemon combined {case.point}: "
                         f"{'; '.join(case.errors)}")
 
-    if config.client or config.client_only:
+    if (config.client or config.client_only) and not config.net_only:
         client_root = root / "client"
         client_trace = _client_enumerate(client_root)
         report.client_points_enumerated = len(client_trace)
@@ -1068,6 +1106,17 @@ def run_crashsweep(config: SweepConfig, progress=None) -> SweepReport:
             elif not case.ok:
                 say(f"FAIL client combined {case.point}: "
                     f"{'; '.join(case.errors)}")
+
+    if config.net or config.fuzz:
+        from .netsweep import run_net_phase
+        net = run_net_phase(root / "net", quick=config.quick,
+                            sweep=config.net, fuzz=config.fuzz,
+                            seed=config.seed, say=say)
+        report.net_points_enumerated = net.points_enumerated
+        report.net_sites = dict(net.sites)
+        report.net_cases.extend(net.cases)
+        report.net_partition_cases = net.partition_cases_run
+        report.fuzz_cases.extend(net.fuzz_cases)
 
     report.duration_s = time.monotonic() - start
     say(f"{report.cases_run} cases, {len(report.failures)} failures, "

@@ -1,0 +1,609 @@
+"""Network phase of ``repro crashsweep``: frame faults + multi-fault fuzz.
+
+The storage and client phases prove durability across crashes of the
+*endpoints*; this phase proves it across misbehavior of the *network*
+between them — the paper's actual failure model for server switching
+(§5.4) and N-of-M write-set availability.  Three real ``repro serve``
+daemons run behind per-server :class:`~repro.rt.chaosproxy.ChaosProxy`
+instances (a :class:`~repro.rt.chaosproxy.ProxyFleet`), and a scripted
+client workload runs through them:
+
+1. **Enumerate** — one clean traced run; every frame crossing the
+   target server's proxy is a point ``net.<kind>.<dir>:<index>``
+   (keep-alive ping/pong excluded: their timing is not deterministic).
+2. **Sweep** — re-run the workload once per (point, action) with that
+   single :class:`~repro.rt.chaosproxy.NetFaultPlan` armed, including
+   curated ``partition-after`` cases where the §5.4 switch must
+   complete off a server that is *alive and reachable in one
+   direction* within :data:`SWITCH_BUDGET_S`.
+3. **Verify** — heal (drop the proxies), confirm no daemon died, then
+   re-run the §5.4 restart with the same client id *directly* against
+   the daemons and check the standing invariants: epoch monotone, every
+   acked record readable with its exact payload (above the truncation
+   floor), nothing fabricated, and post-heal liveness (a fresh
+   transaction acks and reads back).
+
+The **fuzz phase** (``repro crashsweep --fuzz N --seed S``) composes
+2–4 faults per case drawn across all three injector families — network
+frame plans, storage fault plans armed on a daemon via ``--fault-plan``
+(power-loss/EIO only: silent storage corruption voids acked-durability
+by design and belongs to the storage phase), and in-process client
+protocol crashes (:mod:`repro.rt.clientfault`, action ``raise``).  A
+case's composite plan string round-trips through
+:func:`parse_composite_plan`, so any failure is replayable with
+``repro crashsweep --plan SPEC``.  The workload may legally abort
+mid-case (e.g. two faulted servers leave no write quorum); the
+invariants are checked regardless, after the fleet is revived.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.config import ReplicationConfig
+from ..core.errors import LogError
+from ..core.retry import RetryPolicy
+from ..net.codec import RECORD_BEARING_KINDS
+from ..rt import clientfault
+from ..rt.chaosproxy import NetFaultPlan, ProxyFleet
+from ..rt.client import AsyncReplicatedLog
+from ..rt.clientfault import ClientCrash, ClientFaultInjector
+from ..rt.cluster import LoopbackCluster
+from ..rt.faultfs import CLIENT_ACTIONS, FaultPlan, FaultSpecError
+from .crashsweep import CrashCase
+
+#: the case workload's replication shape (M=3, N=2, δ=8 — δ larger
+#: than a transaction so only explicit forces hit the wire, keeping
+#: frame enumeration deterministic).
+_NET_CONFIG = ReplicationConfig(total_servers=3, copies=2, delta=8)
+_TIMEOUT = 1.0
+_KA_INTERVAL = 0.25
+_KA_MISSES = 2
+
+#: §5.4 detection + switch budget for a *partitioned* (not killed)
+#: server: the slower detector — the force-ack timeout (a ``c2s``
+#: partition starves acks) vs the keep-alive miss budget (an ``s2c``
+#: partition starves all inbound bytes) — plus generous single-core CI
+#: slack for the switch's NewInterval + window re-feed round.
+SWITCH_BUDGET_S = max(_TIMEOUT, _KA_INTERVAL * (_KA_MISSES + 1)) + 4.0
+
+#: curated §5.4-under-partition cases: the old server stays alive and
+#: reachable in one direction; the switch must complete within budget
+#: with zero acked-record loss.  ``c2s`` partitions surface as force
+#: timeouts, ``s2c`` partitions as keep-alive quarantines.
+PARTITION_CASES = (
+    "net.writelog.c2s:1:partition-after",
+    "net.forcelog.c2s:1:partition-after",
+    "net.newhighlsn.s2c:0:partition-after",
+    "net.ack.s2c:2:partition-after",
+)
+
+#: storage faults the fuzzer draws (crash/wedge only — no silent
+#: corruption, which voids acked-durability and is the storage
+#: phase's own subject).
+_FUZZ_STORAGE_SITES = ("log.write.record", "log.fsync", "log.group-fsync")
+_FUZZ_STORAGE_ACTIONS = ("power-loss", "eio")
+
+#: client protocol sites the fuzzer crashes in-process (action
+#: ``raise``; exit/sigkill would kill the harness itself).
+_FUZZ_CLIENT_SITES = ("client.flush.sent", "client.force.ack",
+                      "client.switch.begin", "client.recovery.copylog",
+                      "client.init.lists")
+
+
+# -- the scripted workload ---------------------------------------------------
+
+
+@dataclass
+class NetJournal:
+    """What the case workload promised (acks) and attempted."""
+
+    epoch: int = 0
+    #: every payload handed to ``write()``, recorded *before* the call
+    #: (a record can reach a server even if the call never returns).
+    intents: list[bytes] = field(default_factory=list)
+    #: lsn → payload, recorded after ``write()`` returned.
+    attempts: dict[int, bytes] = field(default_factory=dict)
+    acked_high: int = 0
+    trunc_req: int = 0
+    trunc_ack: int = 0
+    max_force_s: float = 0.0
+    switches: int = 0
+    completed: bool = False
+    aborted: str = ""
+    crashed_at: str = ""
+
+
+async def _run_workload(addresses: dict, client_id: str,
+                        journal: NetJournal, *, seed: int = 0) -> None:
+    """Three 4-record transactions with explicit forces and one §5.3
+    truncation; the journal is updated only after each awaited call
+    returns (an interrupted call carries no durability promise)."""
+    loop = asyncio.get_running_loop()
+    # Injected faults abort in-flight futures by design; unretrieved
+    # exceptions are expected noise, not harness bugs.
+    loop.set_exception_handler(lambda lp, ctx: None)
+    log = AsyncReplicatedLog(
+        client_id, addresses, _NET_CONFIG,
+        timeout=_TIMEOUT, batch_bytes=256,
+        keepalive_interval=_KA_INTERVAL, keepalive_misses=_KA_MISSES,
+        retry_policy=RetryPolicy(cap_delay_s=0.25, max_attempts=5),
+    )
+    # Pin δ so the implicit-force trigger cannot adapt mid-sweep and
+    # shift frame counts between enumeration and the armed runs.
+    log.delta_controller.min_delta = log.delta_controller.max_delta
+    try:
+        await log.initialize()
+        journal.epoch = log.current_epoch
+        for txn in range(3):
+            for i in range(4):
+                payload = (f"{client_id}.{txn}.{i}.".encode()
+                           + bytes((seed + 16 * txn + 4 * i + j) % 256
+                                   for j in range(64)))
+                journal.intents.append(payload)
+                lsn = await log.write(payload)
+                journal.attempts[lsn] = payload
+            t0 = loop.time()
+            high = await log.force()
+            journal.max_force_s = max(journal.max_force_s,
+                                      loop.time() - t0)
+            journal.acked_high = max(journal.acked_high, high)
+            if txn == 1:
+                low = log.end_of_log() - _NET_CONFIG.delta
+                if low > 1:
+                    journal.trunc_req = max(journal.trunc_req, low)
+                    await log.truncate(low)
+                    journal.trunc_ack = max(journal.trunc_ack, low)
+        journal.completed = True
+    finally:
+        journal.switches = max(journal.switches, log.server_switches)
+        await log.close()
+
+
+# -- verification ------------------------------------------------------------
+
+
+async def _verify_case(addresses: dict, client_id: str,
+                       journal: NetJournal) -> list[str]:
+    """§5.4 restart directly against the daemons; check the invariants."""
+    errors: list[str] = []
+    asyncio.get_running_loop().set_exception_handler(lambda lp, ctx: None)
+    log = AsyncReplicatedLog(client_id, addresses, _NET_CONFIG,
+                             timeout=5.0)
+    try:
+        await log.initialize()
+        if journal.epoch and log.current_epoch <= journal.epoch:
+            errors.append(
+                f"epoch not monotone: recovery drew {log.current_epoch} "
+                f"after the workload ran at {journal.epoch}")
+        floor = max(journal.trunc_ack, journal.trunc_req)
+        end = log.end_of_log()
+        if journal.acked_high and end < journal.acked_high:
+            errors.append(f"end_of_log {end} below acked high "
+                          f"{journal.acked_high}")
+        allowed = set(journal.intents)
+        for lsn in range(1, end + 1):
+            acked = (lsn in journal.attempts
+                     and lsn <= journal.acked_high and lsn >= floor)
+            try:
+                record = await log.read(lsn)
+            except LogError as exc:
+                # Guard, truncated, or never-landed unacked write: all
+                # legal — unless the record was acked.
+                if acked:
+                    errors.append(f"acked lsn {lsn} lost after heal: "
+                                  f"{exc}")
+                continue
+            want = journal.attempts.get(lsn)
+            if want is not None:
+                if record.data != want:
+                    errors.append(f"lsn {lsn} does not match the write "
+                                  f"assigned to it")
+            elif record.data not in allowed:
+                errors.append(f"fabricated record at lsn {lsn}")
+        # Post-heal liveness: a fresh transaction acks and reads back.
+        post: list[tuple[int, bytes]] = []
+        for i in range(2):
+            data = f"post.{client_id}.{i}".encode()
+            post.append((await log.write(data), data))
+        await log.force()
+        for lsn, data in post:
+            record = await log.read(lsn)
+            if record.data != data:
+                errors.append(f"post-heal write at lsn {lsn} not "
+                              f"readable")
+    except LogError as exc:
+        errors.append(f"post-heal recovery failed: {exc!r}")
+    finally:
+        await log.close()
+    return errors
+
+
+# -- enumeration and case selection ------------------------------------------
+
+
+def enumerate_net_points(cluster: LoopbackCluster, *,
+                         target: str = "s1") -> list[str]:
+    """Frame points seen by ``target``'s proxy during one clean run."""
+
+    async def run() -> list[str]:
+        fleet = ProxyFleet(cluster.addresses(), record_server=target)
+        await fleet.start()
+        try:
+            journal = NetJournal()
+            await _run_workload(fleet.addresses(), "net-e", journal)
+            if not journal.completed:
+                raise RuntimeError(
+                    "net enumeration workload did not complete")
+            return list(fleet.proxies[target].trace)
+        finally:
+            await fleet.close()
+
+    trace = asyncio.run(run())
+    return [p for p in trace
+            if ".ping." not in p and ".pong." not in p]
+
+
+def select_net_cases(trace: list[str], *,
+                     quick: bool) -> list[tuple[str, str]]:
+    """(point, action) pairs to sweep, from an enumerated trace."""
+    by_site: dict[str, list[str]] = {}
+    for point in trace:
+        by_site.setdefault(point.rsplit(":", 1)[0], []).append(point)
+    cases: list[tuple[str, str]] = []
+    if quick:
+        wanted = ("net.intervallistcall.c2s", "net.writelog.c2s",
+                  "net.forcelog.c2s", "net.newhighlsn.s2c")
+        for site in wanted:
+            if site not in by_site:
+                continue
+            first = by_site[site][0]
+            cases.append((first, "drop"))
+            cases.append((first, "kill-connection-after"))
+        if "net.forcelog.c2s" in by_site:
+            cases.append((by_site["net.forcelog.c2s"][0],
+                          "corrupt-payload"))
+        if "net.newhighlsn.s2c" in by_site:
+            cases.append((by_site["net.newhighlsn.s2c"][0],
+                          "corrupt-header"))
+        return cases
+    for site in sorted(by_site):
+        points = by_site[site]
+        kind = site.split(".")[1]
+        first, last = points[0], points[-1]
+        cases.append((first, "drop"))
+        cases.append((first, "kill-connection-after"))
+        cases.append((first, "duplicate"))
+        cases.append((first, "corrupt-header"))
+        if last != first:
+            cases.append((last, "drop"))
+        if kind in RECORD_BEARING_KINDS:
+            cases.append((first, "corrupt-payload"))
+            cases.append((first, "truncate-mid-frame"))
+    for site in ("net.forcelog.c2s", "net.newhighlsn.s2c"):
+        if site in by_site:
+            cases.append((by_site[site][0], "delay"))
+    return cases
+
+
+# -- single-fault net cases --------------------------------------------------
+
+
+def run_net_case(cluster: LoopbackCluster, index, spec: str, *,
+                 partition_expected: bool = False) -> CrashCase:
+    """One armed frame fault against the shared daemon cluster."""
+    plan = NetFaultPlan.parse(spec)
+    case = CrashCase(point=plan.point, action=plan.action)
+    target = plan.server or "s1"
+    client_id = f"n{index}"
+    journal = NetJournal()
+
+    async def run() -> int:
+        fleet = ProxyFleet(cluster.addresses(), plans=(plan,),
+                           default_target=target)
+        await fleet.start()
+        try:
+            try:
+                await asyncio.wait_for(
+                    _run_workload(fleet.addresses(), client_id, journal),
+                    timeout=30.0)
+            except (LogError, OSError, asyncio.TimeoutError) as exc:
+                journal.aborted = repr(exc)
+            return fleet.faults_injected
+        finally:
+            await fleet.close()
+
+    case.hit = asyncio.run(run()) > 0
+    if partition_expected:
+        if not cluster.servers[target].alive:
+            case.errors.append(
+                f"partitioned daemon {target} died during the case")
+        if not journal.switches:
+            case.errors.append(
+                "partition did not drive a §5.4 write-set switch")
+        if not journal.completed:
+            case.errors.append(
+                f"workload did not complete off the partitioned server "
+                f"({journal.aborted or 'incomplete'})")
+        if journal.max_force_s > SWITCH_BUDGET_S:
+            case.errors.append(
+                f"switch took {journal.max_force_s:.2f}s, over the "
+                f"{SWITCH_BUDGET_S:.2f}s detection budget")
+    # Heal == the proxies are gone.  A network-only fault must never
+    # kill a daemon; restart any casualty so one bad case cannot
+    # cascade, but record it as the failure it is.
+    for sid, entry in cluster.servers.items():
+        if not entry.alive:
+            case.errors.append(
+                f"daemon {sid} died during a network-only case")
+            cluster.restart(sid)
+    case.errors.extend(
+        asyncio.run(_verify_case(cluster.addresses(), client_id,
+                                 journal)))
+    case.ok = not case.errors
+    return case
+
+
+# -- composite (fuzz) plans --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompositePlan:
+    """2–4 faults across the three injector families, one case."""
+
+    net: tuple[NetFaultPlan, ...] = ()
+    storage: tuple[tuple[str, FaultPlan], ...] = ()  # (server id, plan)
+    client: tuple[FaultPlan, ...] = ()
+
+    @property
+    def spec(self) -> str:
+        tokens = [p.spec for p in self.net]
+        tokens += [f"{sid}@{p.spec}" for sid, p in self.storage]
+        tokens += [p.spec for p in self.client]
+        return ",".join(tokens)
+
+
+def parse_composite_plan(spec: str) -> CompositePlan:
+    """Parse a comma-separated plan mixing all three fault families.
+
+    Family is recognized per token: ``[sid@]net.<kind>.<dir>:…`` is a
+    network frame fault, ``client.<site>:…`` a client protocol crash,
+    anything else ``[sid@]<storage-site>:…`` (server default ``s1``).
+    Malformed or duplicate-point input raises :class:`FaultSpecError`.
+    """
+    tokens = [token.strip() for token in spec.split(",")]
+    if tokens == [""]:
+        raise FaultSpecError(spec, spec, "is an empty fault plan")
+    net: list[NetFaultPlan] = []
+    storage: list[tuple[str, FaultPlan]] = []
+    client: list[FaultPlan] = []
+    for token in tokens:
+        if not token:
+            raise FaultSpecError(spec, token,
+                                 "is an empty token between commas")
+        body = token.split("@", 1)[-1]
+        if body.startswith("net."):
+            net.append(NetFaultPlan.parse(token))
+        elif body.startswith("client."):
+            if "@" in token:
+                raise FaultSpecError(
+                    spec, token,
+                    "routes a client fault to a server (client faults "
+                    "run in the client process)")
+            client.append(FaultPlan.parse(body, actions=CLIENT_ACTIONS))
+        else:
+            sid, sep, rest = token.partition("@")
+            if not sep:
+                sid, rest = "s1", token
+            elif not sid:
+                raise FaultSpecError(spec, token,
+                                     "has an empty server id before '@'")
+            storage.append((sid, FaultPlan.parse(rest)))
+    keys = ([("net", p.server or "s1", p.point) for p in net]
+            + [("storage", sid, p.point) for sid, p in storage]
+            + [("client", "", p.point) for p in client])
+    for key in keys:
+        if keys.count(key) > 1:
+            raise FaultSpecError(spec, key[2],
+                                 "is armed twice in one plan")
+    return CompositePlan(tuple(net), tuple(storage), tuple(client))
+
+
+def draw_fuzz_plan(rng: random.Random,
+                   sites: dict[str, int]) -> CompositePlan:
+    """One seeded composite plan over the enumerated net site menu."""
+    n_faults = rng.randint(2, 4)
+    net: list[NetFaultPlan] = []
+    storage: list[tuple[str, FaultPlan]] = []
+    client: list[FaultPlan] = []
+    seen: set[tuple] = set()
+    tries = 0
+    while len(net) + len(storage) + len(client) < n_faults and tries < 64:
+        tries += 1
+        family = rng.choices(("net", "storage", "client"),
+                             weights=(3, 1, 1))[0]
+        if family == "net":
+            site = rng.choice(sorted(sites))
+            index = rng.randrange(min(sites[site], 3))
+            _, kind, direction = site.split(".")
+            actions = ["drop", "delay", "duplicate", "corrupt-header",
+                       "truncate-mid-frame", "partition-after",
+                       "kill-connection-after"]
+            if kind in RECORD_BEARING_KINDS:
+                actions.append("corrupt-payload")
+            sid = rng.choice(("s1", "s1", "s2", "s3"))
+            key = ("net", sid, site, index)
+            if key in seen:
+                continue
+            seen.add(key)
+            net.append(NetFaultPlan(kind=kind, direction=direction,
+                                    index=index,
+                                    action=rng.choice(actions),
+                                    server=sid))
+        elif family == "storage":
+            sid = rng.choice(("s1", "s2"))
+            site = rng.choice(_FUZZ_STORAGE_SITES)
+            index = rng.randrange(6)
+            key = ("storage", sid, site, index)
+            if key in seen:
+                continue
+            seen.add(key)
+            storage.append((sid, FaultPlan(
+                site=site, index=index,
+                action=rng.choice(_FUZZ_STORAGE_ACTIONS))))
+        else:
+            site = rng.choice(_FUZZ_CLIENT_SITES)
+            index = rng.randrange(2)
+            key = ("client", "", site, index)
+            if key in seen:
+                continue
+            seen.add(key)
+            client.append(FaultPlan(site=site, index=index,
+                                    action="raise"))
+    return CompositePlan(tuple(net), tuple(storage), tuple(client))
+
+
+def run_fuzz_case(cluster: LoopbackCluster, index,
+                  plan: CompositePlan) -> CrashCase:
+    """One composed multi-fault case; revive the fleet, then verify."""
+    case = CrashCase(point=plan.spec, action="fuzz")
+    bad = [p.spec for p in plan.client if p.action != "raise"]
+    if bad:
+        case.errors.append(
+            f"fuzz cases only support in-process client faults "
+            f"(action 'raise'); got {', '.join(bad)}")
+        case.ok = False
+        return case
+    client_id = f"f{index}"
+    journal = NetJournal()
+    by_server: dict[str, list[FaultPlan]] = {}
+    for sid, fplan in plan.storage:
+        by_server.setdefault(sid, []).append(fplan)
+    for sid in sorted(by_server):
+        cluster.restart(sid, extra_args=[
+            "--fault-plan",
+            ",".join(p.spec for p in by_server[sid])])
+
+    async def run() -> int:
+        fleet = ProxyFleet(cluster.addresses(), plans=plan.net,
+                           seed=index if isinstance(index, int) else 0)
+        await fleet.start()
+        injector = ClientFaultInjector(plan.client)
+        clientfault.install(injector)
+        try:
+            try:
+                await asyncio.wait_for(
+                    _run_workload(fleet.addresses(), client_id, journal),
+                    timeout=40.0)
+            except ClientCrash as crash:
+                journal.crashed_at = crash.point
+            except (LogError, OSError, asyncio.TimeoutError) as exc:
+                journal.aborted = repr(exc)
+            return fleet.faults_injected + injector.crashes
+        finally:
+            clientfault.install(None)
+            await fleet.close()
+
+    try:
+        fired = asyncio.run(run())
+    finally:
+        cluster.revive(sorted(by_server))
+    case.hit = fired > 0 or any(not cluster.servers[sid].alive
+                                for sid in by_server)
+    case.errors.extend(
+        asyncio.run(_verify_case(cluster.addresses(), client_id,
+                                 journal)))
+    case.ok = not case.errors
+    return case
+
+
+# -- phase entry point -------------------------------------------------------
+
+
+@dataclass
+class NetPhaseResult:
+    """What the network phases did, for the sweep report."""
+
+    points_enumerated: int = 0
+    sites: dict[str, int] = field(default_factory=dict)
+    cases: list[CrashCase] = field(default_factory=list)
+    partition_cases_run: int = 0
+    fuzz_cases: list[CrashCase] = field(default_factory=list)
+
+
+def run_net_phase(root: Path, *, quick: bool = False, sweep: bool = True,
+                  fuzz: int = 0, seed: int = 0, say=lambda line: None,
+                  point: str | None = None,
+                  plan: str | None = None) -> NetPhaseResult:
+    """Run the network sweep and/or fuzz phases on one shared cluster.
+
+    Network faults never corrupt durable state, so one 3-daemon
+    cluster serves every case; each case gets a fresh client id and a
+    fresh proxy fleet (fuzz cases additionally restart the daemons
+    they arm storage faults on).
+    """
+    result = NetPhaseResult()
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    with LoopbackCluster(str(root / "cluster"), num_servers=3) as cluster:
+        if plan is not None:
+            composite = parse_composite_plan(plan)
+            say(f"replaying composite fuzz case {composite.spec}")
+            case = run_fuzz_case(cluster, "replay", composite)
+            result.fuzz_cases.append(case)
+            if not case.ok:
+                say(f"FAIL fuzz replay [{case.point}]: "
+                    f"{'; '.join(case.errors)}")
+            return result
+        if point is not None:
+            spec = point if point.count(":") >= 2 else f"{point}:drop"
+            netplan = NetFaultPlan.parse(spec)
+            say(f"replaying single network case {netplan.spec}")
+            case = run_net_case(
+                cluster, "replay", spec,
+                partition_expected=netplan.action == "partition-after")
+            result.cases.append(case)
+            if not case.ok:
+                say(f"FAIL net {case.spec}: {'; '.join(case.errors)}")
+            return result
+        trace = enumerate_net_points(cluster)
+        result.points_enumerated = len(trace)
+        for p in trace:
+            site = p.rsplit(":", 1)[0]
+            result.sites[site] = result.sites.get(site, 0) + 1
+        if sweep:
+            selected = select_net_cases(trace, quick=quick)
+            partitions = PARTITION_CASES[:1] if quick else PARTITION_CASES
+            say(f"network phase: {len(trace)} frame points across "
+                f"{len(result.sites)} sites, {len(selected)} fault "
+                f"cases + {len(partitions)} partition-switch cases")
+            for n, (p, action) in enumerate(selected):
+                case = run_net_case(cluster, n, f"{p}:{action}")
+                result.cases.append(case)
+                if not case.ok:
+                    say(f"FAIL net {case.spec}: "
+                        f"{'; '.join(case.errors)}")
+            for n, spec in enumerate(partitions):
+                case = run_net_case(cluster, f"p{n}", spec,
+                                    partition_expected=True)
+                result.cases.append(case)
+                result.partition_cases_run += 1
+                if not case.ok:
+                    say(f"FAIL net partition {case.spec}: "
+                        f"{'; '.join(case.errors)}")
+        if fuzz:
+            say(f"fuzz phase: {fuzz} composed multi-fault cases, "
+                f"seed {seed}")
+            for i in range(fuzz):
+                rng = random.Random(seed * 1_000_003 + i)
+                composite = draw_fuzz_plan(rng, result.sites)
+                case = run_fuzz_case(cluster, i, composite)
+                result.fuzz_cases.append(case)
+                if not case.ok:
+                    say(f"FAIL fuzz case {i} [{composite.spec}]: "
+                        f"{'; '.join(case.errors)} — replay with: "
+                        f"repro crashsweep --plan '{composite.spec}'")
+    return result

@@ -684,3 +684,127 @@ class FrameReader:
         self._pool.release(self._buf)
         self._buf = bytearray()
         self._pos = 0
+
+
+# -- frame scanning (network fault injection) --------------------------------
+
+#: Bytes of the stream-level length prefix preceding each encoded message.
+FRAME_PREFIX_BYTES = _FRAME_PREFIX.size
+
+#: type code → short lowercase kind name: the vocabulary of the
+#: ``net.<kind>.<dir>`` fault sites of :mod:`repro.rt.chaosproxy`.
+TYPE_NAMES: dict[int, str] = {
+    T_WRITE_LOG: "writelog",
+    T_FORCE_LOG: "forcelog",
+    T_NEW_INTERVAL: "newinterval",
+    T_NEW_HIGH_LSN: "newhighlsn",
+    T_MISSING_INTERVAL: "missinginterval",
+    T_INTERVAL_LIST_CALL: "intervallistcall",
+    T_INTERVAL_LIST_REPLY: "intervallistreply",
+    T_READ_LOG_FORWARD: "readlogforward",
+    T_READ_LOG_BACKWARD: "readlogbackward",
+    T_READ_LOG_REPLY: "readlogreply",
+    T_COPY_LOG: "copylog",
+    T_INSTALL_COPIES: "installcopies",
+    T_ACK: "ack",
+    T_ERROR: "error",
+    T_GENERATOR_READ_CALL: "genreadcall",
+    T_GENERATOR_READ_REPLY: "genreadreply",
+    T_GENERATOR_WRITE_CALL: "genwritecall",
+    T_PING: "ping",
+    T_PONG: "pong",
+    T_TRUNCATE_LOG: "truncatelog",
+    T_TRUNCATE_REPLY: "truncatereply",
+    T_STATS_CALL: "statscall",
+    T_STATS_REPLY: "statsreply",
+}
+NAME_TYPES: dict[str, int] = {v: k for k, v in TYPE_NAMES.items()}
+
+#: kinds whose body is a CRC-protected record sequence.  Corrupting
+#: their payload is always *detectable* — the receiver rejects the
+#: record — unlike e.g. an interval list, whose body bytes carry no
+#: checksum of their own (TCP's is the model's integrity layer there).
+RECORD_BEARING_KINDS = frozenset(
+    {"writelog", "forcelog", "copylog", "readlogreply"})
+
+_SCAN_HEAD = struct.Struct("!HB")  # magic + type, at the header's front
+
+
+class ScannedFrame:
+    """One complete frame lifted off a byte stream, undecoded.
+
+    ``data`` is the full wire image — 4-byte length prefix plus the
+    encoded message — so forwarding ``data`` unchanged is a perfect
+    relay, and mutating it models exactly one damaged message.
+    """
+
+    __slots__ = ("data", "mtype")
+
+    def __init__(self, data: bytes, mtype: int):
+        self.data = data
+        self.mtype = mtype
+
+    @property
+    def kind(self) -> str:
+        return TYPE_NAMES.get(self.mtype, f"type{self.mtype}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScannedFrame(kind={self.kind}, bytes={len(self.data)})"
+
+
+class FrameScanner:
+    """Sans-IO incremental frame-boundary scanner over raw wire bytes.
+
+    The fault-injecting proxy (:mod:`repro.rt.chaosproxy`) feeds each
+    pump direction's chunks through one of these; partial frames are
+    buffered across chunks and every *complete* frame comes back as a
+    :class:`ScannedFrame`, so faults can target protocol messages
+    rather than arbitrary 4096-byte windows.  Unlike
+    :class:`FrameReader` it never decodes bodies — a relay must forward
+    byte-exact images, deliberately corrupted ones included.
+
+    A stream that desynchronizes (an implausible length prefix, a bad
+    magic) raises :class:`WireCodecError`; the proxy degrades that
+    connection to raw passthrough and lets the endpoint's decoder
+    tear it down.
+    """
+
+    def __init__(self, *, max_frame: int = MAX_FRAME_BYTES):
+        self._buf = bytearray()
+        self._max_frame = max_frame
+        #: complete frames returned since construction.
+        self.frames_scanned = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buf)
+
+    def take_buffer(self) -> bytes:
+        """Drain and return the partial buffer (passthrough fallback)."""
+        data = bytes(self._buf)
+        self._buf.clear()
+        return data
+
+    def feed(self, chunk: bytes) -> list[ScannedFrame]:
+        """Buffer ``chunk``; return every frame now complete, in order."""
+        self._buf += chunk
+        buf = self._buf
+        frames: list[ScannedFrame] = []
+        pos = 0
+        while len(buf) - pos >= FRAME_PREFIX_BYTES + _SCAN_HEAD.size:
+            (length,) = _FRAME_PREFIX.unpack_from(buf, pos)
+            if length < MESSAGE_HEADER_BYTES or length > self._max_frame:
+                raise WireCodecError(f"implausible frame length {length}")
+            magic, mtype = _SCAN_HEAD.unpack_from(
+                buf, pos + FRAME_PREFIX_BYTES)
+            if magic != MESSAGE_MAGIC:
+                raise WireCodecError(f"bad message magic 0x{magic:04x}")
+            total = FRAME_PREFIX_BYTES + length
+            if len(buf) - pos < total:
+                break
+            frames.append(ScannedFrame(bytes(buf[pos:pos + total]), mtype))
+            pos += total
+        del buf[:pos]
+        self.frames_scanned += len(frames)
+        return frames

@@ -3,7 +3,13 @@
 Grown out of the stallable proxy in ``tests/rt/test_backpressure.py``:
 interposed between a client and one daemon, :class:`ChaosProxy`
 reproduces the network's misbehavior on demand so it can compose with
-the storage faults of :mod:`repro.rt.faultfs` in one sweep:
+the storage faults of :mod:`repro.rt.faultfs` and the protocol faults
+of :mod:`repro.rt.clientfault` in one sweep.
+
+Two layers of faults:
+
+**Byte-level knobs** (the original vocabulary, applied per 4096-byte
+chunk):
 
 * **stall** — stop forwarding in both directions while still reading
   from the peer (the observable behavior of a SIGSTOP'd server: TCP
@@ -12,18 +18,54 @@ the storage faults of :mod:`repro.rt.faultfs` in one sweep:
 * **loss** — drop a chunk with probability ``loss_rate``;
 * **one-way partition** — drop *everything* in one direction while the
   other keeps flowing (the asymmetric gray failure keep-alive probes
-  are for);
+  are for).  :meth:`partition` and :meth:`heal` are both
+  per-direction;
 * **corruption** — flip one bit of a chunk with probability
   ``corrupt_rate``.
 
-Loss and corruption are driven by a seeded :class:`random.Random`, so
-a chaos run is replayable from its seed.  Note that on a TCP stream,
-dropping or corrupting bytes desynchronizes the wire framing — the
-receiver sees a malformed header or a CRC mismatch and tears the
-connection down; that *is* the scenario being exercised.
+**Frame-level plans** (:class:`NetFaultPlan`): when ``plans`` or
+``record`` is set, each pump direction runs an incremental
+:class:`~repro.net.codec.FrameScanner`, so faults target *protocol
+messages* instead of arbitrary byte windows.  A plan's crash point is
+``net.<kind>.<dir>:<index>`` — the ``index``-th frame of message kind
+``kind`` (a Figure 4-1 type name: ``writelog``, ``forcelog``,
+``newhighlsn``, ...) crossing the proxy in direction ``dir`` (``c2s``
+or ``s2c``) — and its action one of :data:`NET_ACTIONS`:
 
-:class:`ProxiedCluster` is the in-process three-daemon fixture from the
-back-pressure tests, with the first daemon behind a proxy.
+``drop``
+    swallow the frame (a lost message; TCP framing stays intact);
+``corrupt-payload``
+    flip one bit in the frame's body — for record-bearing messages the
+    receiver's CRC rejects it (header-only frames degrade to
+    ``corrupt-header``);
+``corrupt-header``
+    flip one bit in the message magic — the receiver's decoder fails
+    and tears the connection down (silent header corruption is outside
+    the model: TCP checksums make an undetectably-flipped LSN a
+    Byzantine fault, not a network fault);
+``truncate-mid-frame``
+    forward half the frame, then kill the connection (both sides);
+``delay``
+    hold the frame for ``net_delay_s`` before forwarding;
+``duplicate``
+    forward the frame twice (the at-least-once network);
+``partition-after``
+    forward the frame, then drop everything in its direction — on
+    every connection — until :meth:`heal` (the §5.4 sweep's "old
+    server alive but half-connected" shape);
+``kill-connection-after``
+    forward the frame, then close both sides of this connection.
+
+Frame indices count per ``(kind, direction)`` site across the proxy's
+lifetime, so the timing-dependent keep-alive ping/pong traffic never
+shifts another kind's indices and a traced clean run enumerates
+replayable points.  Loss and corruption are driven by a seeded
+:class:`random.Random`, so a chaos run is replayable from its seed.
+
+:class:`ProxiedCluster` is the in-process daemon fixture from the
+back-pressure tests — now with *every* daemon behind its own proxy —
+and :class:`ProxyFleet` fronts an existing address map (real ``repro
+serve`` daemons) the same way for the network crash sweep.
 """
 
 from __future__ import annotations
@@ -31,12 +73,139 @@ from __future__ import annotations
 import asyncio
 import os
 import random
+from dataclasses import dataclass, field
 
+from ..net.codec import (
+    FRAME_PREFIX_BYTES,
+    MESSAGE_HEADER_BYTES,
+    NAME_TYPES,
+    FrameScanner,
+    WireCodecError,
+)
+from .faultfs import FaultSpecError, _split_spec
 from .filestore import FileLogStore
 from .server import LogServerDaemon
 
 #: Valid ``direction`` arguments to :meth:`ChaosProxy.partition`.
 DIRECTIONS = ("c2s", "s2c", "both")
+
+#: Frame directions a :class:`NetFaultPlan` can name (``both`` is a
+#: partition-toggle convenience, not a frame direction).
+FRAME_DIRECTIONS = ("c2s", "s2c")
+
+#: Frame-level fault actions, in the grammar's vocabulary.
+NET_ACTIONS = ("drop", "corrupt-payload", "corrupt-header",
+               "truncate-mid-frame", "delay", "duplicate",
+               "partition-after", "kill-connection-after")
+
+#: Offset of the message body within a full frame image.
+_BODY_OFFSET = FRAME_PREFIX_BYTES + MESSAGE_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """Arm ``action`` at the ``index``-th ``kind`` frame in ``direction``.
+
+    The spec grammar is symmetric with the storage and client fault
+    plans (``SITE:IDX:ACTION``): ``net.<kind>.<dir>:<idx>:<action>``,
+    optionally prefixed ``<server>@`` to route the plan to one server's
+    proxy in a :class:`ProxyFleet` (composite fuzz plans mix the three
+    families in one comma-separated string).
+    """
+
+    kind: str
+    direction: str
+    index: int
+    action: str
+    server: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in NAME_TYPES:
+            raise FaultSpecError(
+                self.spec, self.kind,
+                "is not a wire message kind (see net.codec.NAME_TYPES)",
+            )
+        if self.direction not in FRAME_DIRECTIONS:
+            raise FaultSpecError(
+                self.spec, self.direction,
+                f"is not a frame direction (one of "
+                f"{', '.join(FRAME_DIRECTIONS)})",
+            )
+        if self.index < 0:
+            raise FaultSpecError(self.spec, str(self.index),
+                                 "is a negative frame index")
+        if self.action not in NET_ACTIONS:
+            raise FaultSpecError(
+                self.spec, self.action,
+                f"is not a network fault action (one of "
+                f"{', '.join(NET_ACTIONS)})",
+            )
+
+    @property
+    def site(self) -> str:
+        return f"net.{self.kind}.{self.direction}"
+
+    @property
+    def point(self) -> str:
+        return f"{self.site}:{self.index}"
+
+    @property
+    def spec(self) -> str:
+        prefix = f"{self.server}@" if self.server else ""
+        return f"{prefix}{self.site}:{self.index}:{self.action}"
+
+    @classmethod
+    def parse(cls, spec: str) -> "NetFaultPlan":
+        """Parse ``[server@]net.<kind>.<dir>:<idx>:<action>``.
+
+        Malformed input raises :class:`FaultSpecError` naming the bad
+        token, exactly like the storage grammar it mirrors.
+        """
+        server, sep, body = spec.partition("@")
+        if not sep:
+            server, body = "", spec
+        elif not server:
+            raise FaultSpecError(spec, spec,
+                                 "has an empty server id before '@'")
+        site, index_s, action = _split_spec(body, None)
+        parts = site.split(".")
+        if len(parts) != 3 or parts[0] != "net":
+            raise FaultSpecError(
+                spec, site,
+                "is not a network fault site (net.<kind>.<dir>)",
+            )
+        try:
+            index = int(index_s)
+        except ValueError:
+            raise FaultSpecError(spec, index_s,
+                                 "is not an integer frame index") from None
+        return cls(kind=parts[1], direction=parts[2], index=index,
+                   action=action, server=server)
+
+
+def parse_net_plans(spec: str) -> tuple[NetFaultPlan, ...]:
+    """Parse a comma-separated multi-plan string of network faults.
+
+    Mirrors :func:`repro.rt.faultfs.parse_fault_plans`: whitespace
+    around tokens is tolerated; an empty string, empty token, duplicate
+    ``(server, point)``, or malformed token raises
+    :class:`FaultSpecError`.
+    """
+    tokens = [token.strip() for token in spec.split(",")]
+    if tokens == [""]:
+        raise FaultSpecError(spec, spec, "is an empty fault plan")
+    plans: list[NetFaultPlan] = []
+    for token in tokens:
+        if not token:
+            raise FaultSpecError(spec, token,
+                                 "is an empty token between commas")
+        plans.append(NetFaultPlan.parse(token))
+    points = [(plan.server, plan.point) for plan in plans]
+    for key in points:
+        if points.count(key) > 1:
+            raise FaultSpecError(spec, f"{key[0]}@{key[1]}" if key[0]
+                                 else key[1], "is armed twice in one plan")
+    return tuple(plans)
 
 
 class ChaosProxy:
@@ -46,11 +215,15 @@ class ChaosProxy:
     toggled at runtime; the probabilistic ones (``latency_s``,
     ``loss_rate``, ``corrupt_rate``) are constructor parameters and are
     applied per 4096-byte chunk, deterministically from ``seed``.
+    Frame-level behavior (``plans``, ``record``) is documented in the
+    module docstring.
     """
 
     def __init__(self, upstream_host: str, upstream_port: int, *,
                  latency_s: float = 0.0, loss_rate: float = 0.0,
-                 corrupt_rate: float = 0.0, seed: int = 0):
+                 corrupt_rate: float = 0.0, seed: int = 0,
+                 plans: tuple[NetFaultPlan, ...] = (),
+                 record: bool = False, net_delay_s: float = 0.25):
         self.upstream = (upstream_host, upstream_port)
         self.stalled = asyncio.Event()
         self.stalled.set()  # set == flowing
@@ -58,13 +231,38 @@ class ChaosProxy:
         self.loss_rate = loss_rate
         self.corrupt_rate = corrupt_rate
         self.seed = seed
+        self.plans = tuple(plans)
+        self.record = record
+        self.net_delay_s = net_delay_s
+        self._frame_aware = bool(self.plans) or record
         self._rng = random.Random(seed)
         self._blocked: set[str] = set()
         self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
         self.port = 0
+        #: frame site → invocations seen (proxy-global, so indices are
+        #: stable across the reconnects a killed connection causes).
+        self._site_counts: dict[str, int] = {}
+        #: every frame point seen, in order (``record`` mode).
+        self.trace: list[str] = []
+        #: first armed point that fired, as ``point:action``.
+        self.tripped: str | None = None
+        self.faults_injected = 0
         self.bytes_forwarded = 0
         self.chunks_dropped = 0
         self.chunks_corrupted = 0
+        #: per-direction drop counters (chunks and frames both count).
+        self.dropped_by_direction: dict[str, int] = {"c2s": 0, "s2c": 0}
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+        self.frames_corrupted = 0
+        self.frames_duplicated = 0
+        self.frames_truncated = 0
+        self.frames_delayed = 0
+        self.connections_killed = 0
+        #: pump directions that hit a scan error and fell back to raw
+        #: passthrough (corruption desynchronized the framing).
+        self.scan_errors = 0
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -90,13 +288,24 @@ class ChaosProxy:
         if direction not in DIRECTIONS:
             raise ValueError(f"direction must be one of {DIRECTIONS}")
         if direction == "both":
-            self._blocked = {"c2s", "s2c"}
+            self._blocked |= {"c2s", "s2c"}
         else:
             self._blocked.add(direction)
 
-    def heal(self) -> None:
-        """Remove any partition (stall state is separate)."""
-        self._blocked = set()
+    def heal(self, direction: str = "both") -> None:
+        """Lift the partition in ``direction`` only (default: all).
+
+        Symmetric with :meth:`partition`: healing ``"c2s"`` after a
+        ``"both"`` block leaves the ``s2c`` half in place, so
+        asymmetric fault schedules compose without silently clearing
+        each other.  Stall state is separate.
+        """
+        if direction not in DIRECTIONS:
+            raise ValueError(f"direction must be one of {DIRECTIONS}")
+        if direction == "both":
+            self._blocked.clear()
+        else:
+            self._blocked.discard(direction)
 
     # -- the pump ------------------------------------------------------
 
@@ -107,61 +316,210 @@ class ChaosProxy:
         except OSError:
             writer.close()
             return
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        writers = (up_writer, writer)
 
-        async def pump(src, dst, direction):
-            try:
-                while True:
-                    chunk = await src.read(4096)
-                    if not chunk:
-                        break
-                    await self.stalled.wait()
-                    if direction in self._blocked:
-                        self.chunks_dropped += 1
-                        continue
-                    if self.loss_rate and self._rng.random() < self.loss_rate:
-                        self.chunks_dropped += 1
-                        continue
-                    if self.corrupt_rate \
-                            and self._rng.random() < self.corrupt_rate:
-                        pos = self._rng.randrange(len(chunk))
-                        bit = 1 << self._rng.randrange(8)
-                        chunk = chunk[:pos] \
-                            + bytes([chunk[pos] ^ bit]) + chunk[pos + 1:]
-                        self.chunks_corrupted += 1
-                    if self.latency_s:
-                        await asyncio.sleep(self.latency_s)
-                    dst.write(chunk)
-                    await dst.drain()
-                    self.bytes_forwarded += len(chunk)
-            except (ConnectionError, OSError, asyncio.CancelledError):
-                pass
-            finally:
+        def close_both() -> None:
+            for w in writers:
                 try:
-                    dst.close()
+                    w.close()
                 except Exception:
                     pass
 
-        await asyncio.gather(pump(reader, up_writer, "c2s"),
-                             pump(up_reader, writer, "s2c"))
+        try:
+            await asyncio.gather(
+                self._pump(reader, up_writer, "c2s", close_both),
+                self._pump(up_reader, writer, "s2c", close_both),
+            )
+        except asyncio.CancelledError:
+            pass  # close() tearing the connection down
+        finally:
+            close_both()
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _pump(self, src, dst, direction, close_both) -> None:
+        scanner = FrameScanner() if self._frame_aware else None
+        raw = scanner is None
+        try:
+            while True:
+                chunk = await src.read(4096)
+                if not chunk:
+                    break
+                await self.stalled.wait()
+                if direction in self._blocked:
+                    self.chunks_dropped += 1
+                    self.dropped_by_direction[direction] += 1
+                    continue
+                if self.loss_rate and self._rng.random() < self.loss_rate:
+                    self.chunks_dropped += 1
+                    self.dropped_by_direction[direction] += 1
+                    continue
+                if self.corrupt_rate \
+                        and self._rng.random() < self.corrupt_rate:
+                    pos = self._rng.randrange(len(chunk))
+                    bit = 1 << self._rng.randrange(8)
+                    chunk = chunk[:pos] \
+                        + bytes([chunk[pos] ^ bit]) + chunk[pos + 1:]
+                    self.chunks_corrupted += 1
+                if self.latency_s:
+                    await asyncio.sleep(self.latency_s)
+                if not raw:
+                    try:
+                        frames = scanner.feed(chunk)
+                    except WireCodecError:
+                        # Desynchronized (e.g. chunk-level corruption):
+                        # forward what is buffered verbatim and let the
+                        # endpoint's decoder reject it.
+                        self.scan_errors += 1
+                        raw = True
+                        chunk = scanner.take_buffer()
+                    else:
+                        for frame in frames:
+                            if not await self._forward_frame(
+                                    frame, dst, direction, close_both):
+                                return
+                        continue
+                dst.write(chunk)
+                await dst.drain()
+                self.bytes_forwarded += len(chunk)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                dst.close()
+            except Exception:
+                pass
+
+    def _plan_for(self, site: str, index: int) -> NetFaultPlan | None:
+        for plan in self.plans:
+            if plan.site == site and plan.index == index:
+                return plan
+        return None
+
+    def _flip_bit(self, data: bytes, lo: int, hi: int) -> bytes:
+        pos = lo + self._rng.randrange(hi - lo)
+        bit = 1 << self._rng.randrange(8)
+        return data[:pos] + bytes([data[pos] ^ bit]) + data[pos + 1:]
+
+    async def _forward_frame(self, frame, dst, direction,
+                             close_both) -> bool:
+        """Apply any armed plan to one frame; False ends the pump."""
+        site = f"net.{frame.kind}.{direction}"
+        index = self._site_counts.get(site, 0)
+        self._site_counts[site] = index + 1
+        if self.record:
+            self.trace.append(f"{site}:{index}")
+        # Re-check the partition per frame: a ``partition-after`` armed
+        # earlier in this same chunk must swallow the rest of it too.
+        if direction in self._blocked:
+            self.frames_dropped += 1
+            self.dropped_by_direction[direction] += 1
+            return True
+        plan = self._plan_for(site, index)
+        data = frame.data
+        partition_after = False
+        if plan is not None:
+            self.faults_injected += 1
+            if self.tripped is None:
+                self.tripped = f"{plan.point}:{plan.action}"
+            action = plan.action
+            if action == "drop":
+                self.frames_dropped += 1
+                self.dropped_by_direction[direction] += 1
+                return True
+            if action == "delay":
+                self.frames_delayed += 1
+                await asyncio.sleep(self.net_delay_s)
+            elif action == "corrupt-payload":
+                # Header-only frames have no body; degrade to the
+                # header flip (which the magic check always catches).
+                if len(data) > _BODY_OFFSET:
+                    data = self._flip_bit(data, _BODY_OFFSET, len(data))
+                else:
+                    data = self._flip_bit(data, FRAME_PREFIX_BYTES,
+                                          FRAME_PREFIX_BYTES + 2)
+                self.frames_corrupted += 1
+            elif action == "corrupt-header":
+                # Flip within the magic: deterministically detectable.
+                # An undetectable header flip (say, in the LSN field)
+                # would be Byzantine, outside the crash-failure model.
+                data = self._flip_bit(data, FRAME_PREFIX_BYTES,
+                                      FRAME_PREFIX_BYTES + 2)
+                self.frames_corrupted += 1
+            elif action == "truncate-mid-frame":
+                cut = max(FRAME_PREFIX_BYTES + 1, len(data) // 2)
+                self.frames_truncated += 1
+                self.connections_killed += 1
+                try:
+                    dst.write(data[:cut])
+                    await dst.drain()
+                except (ConnectionError, OSError):
+                    pass
+                close_both()
+                return False
+            elif action == "duplicate":
+                self.frames_duplicated += 1
+                dst.write(data)  # first copy; second falls through
+            elif action == "partition-after":
+                partition_after = True
+            elif action == "kill-connection-after":
+                self.connections_killed += 1
+                try:
+                    dst.write(data)
+                    await dst.drain()
+                except (ConnectionError, OSError):
+                    pass
+                close_both()
+                return False
+        dst.write(data)
+        await dst.drain()
+        self.bytes_forwarded += len(data)
+        self.frames_forwarded += 1
+        if partition_after:
+            self.partition(direction)
+        return True
 
     async def close(self) -> None:
+        """Stop listening and tear down every in-flight connection.
+
+        Pump tasks are cancelled and both sides of each proxied
+        connection closed, so a stalled or partitioned connection
+        cannot outlive the proxy.
+        """
         if self._server is not None:
             self._server.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        if self._server is not None:
             await self._server.wait_closed()
+            self._server = None
 
 
 class ProxiedCluster:
-    """In-process daemons with one of them behind a :class:`ChaosProxy`.
+    """In-process daemons, each behind its own :class:`ChaosProxy`.
 
-    ``proxy_kwargs`` are forwarded to the proxy constructor, so a test
-    can ask for latency/loss/corruption without rebuilding the fixture.
+    ``proxy_kwargs`` are forwarded to the *faulty* server's proxy
+    constructor (``faulty``, default ``"s1"``), so a test can ask for
+    latency/loss/corruption/frame plans on one server without
+    rebuilding the fixture; the other servers get clean proxies.
+    ``proxy`` aliases the faulty server's proxy; ``proxies`` maps every
+    server id to its own.
     """
 
-    def __init__(self, tmp_path, *, servers: int = 3, **proxy_kwargs):
+    def __init__(self, tmp_path, *, servers: int = 3, faulty: str = "s1",
+                 **proxy_kwargs):
         self.tmp_path = tmp_path
         self.servers = servers
+        self.faulty = faulty
         self.proxy_kwargs = proxy_kwargs
         self.daemons: dict[str, LogServerDaemon] = {}
+        self.proxies: dict[str, ChaosProxy] = {}
         self.proxy: ChaosProxy | None = None
 
     async def __aenter__(self):
@@ -171,20 +529,93 @@ class ProxiedCluster:
             daemon = LogServerDaemon(FileLogStore(data_dir, sid))
             await daemon.start()
             self.daemons[sid] = daemon
-        first = self.daemons["s1"]
-        self.proxy = ChaosProxy(first.host, first.port, **self.proxy_kwargs)
-        await self.proxy.start()
+            kwargs = self.proxy_kwargs if sid == self.faulty else {}
+            proxy = ChaosProxy(daemon.host, daemon.port, **kwargs)
+            await proxy.start()
+            self.proxies[sid] = proxy
+        self.proxy = self.proxies[self.faulty]
         return self
 
     def addresses(self):
-        addrs = {sid: (d.host, d.port) for sid, d in self.daemons.items()}
-        addrs["s1"] = ("127.0.0.1", self.proxy.port)
-        return addrs
+        return {sid: ("127.0.0.1", proxy.port)
+                for sid, proxy in self.proxies.items()}
+
+    def direct_addresses(self):
+        """The daemons' own addresses, bypassing every proxy."""
+        return {sid: (d.host, d.port) for sid, d in self.daemons.items()}
 
     async def __aexit__(self, *exc):
-        await self.proxy.close()
+        for proxy in self.proxies.values():
+            await proxy.close()
         for daemon in self.daemons.values():
             try:
                 await daemon.close()
             except Exception:
                 pass
+
+
+class ProxyFleet:
+    """One :class:`ChaosProxy` in front of every server of an address map.
+
+    The network crash sweep fronts a real
+    :class:`~repro.rt.cluster.LoopbackCluster` with one of these per
+    case: each :class:`NetFaultPlan` is routed to the proxy of its
+    ``server`` field (``default_target`` when unset), ``record_server``
+    names the proxy that traces frame points for enumeration, and the
+    client under test is pointed at :meth:`addresses`.
+    """
+
+    def __init__(self, addresses, *, plans: tuple[NetFaultPlan, ...] = (),
+                 record_server: str | None = None,
+                 default_target: str = "s1", seed: int = 0,
+                 net_delay_s: float = 0.25):
+        self._upstream = dict(addresses)
+        self._seed = seed
+        self._net_delay_s = net_delay_s
+        self.record_server = record_server
+        by_server: dict[str, list[NetFaultPlan]] = {}
+        for plan in plans:
+            by_server.setdefault(plan.server or default_target,
+                                 []).append(plan)
+        for sid in by_server:
+            if sid not in self._upstream:
+                raise FaultSpecError(
+                    ",".join(p.spec for p in plans), sid,
+                    "names a server that is not in the cluster",
+                )
+        self._plans = by_server
+        self.proxies: dict[str, ChaosProxy] = {}
+
+    async def start(self) -> None:
+        for sid, (host, port) in sorted(self._upstream.items()):
+            proxy = ChaosProxy(
+                host, port,
+                plans=tuple(self._plans.get(sid, ())),
+                record=(sid == self.record_server),
+                seed=self._seed, net_delay_s=self._net_delay_s,
+            )
+            await proxy.start()
+            self.proxies[sid] = proxy
+
+    def addresses(self) -> dict[str, tuple[str, int]]:
+        return {sid: ("127.0.0.1", proxy.port)
+                for sid, proxy in self.proxies.items()}
+
+    def heal(self) -> None:
+        for proxy in self.proxies.values():
+            proxy.heal()
+
+    @property
+    def tripped(self) -> str | None:
+        for sid in sorted(self.proxies):
+            if self.proxies[sid].tripped is not None:
+                return self.proxies[sid].tripped
+        return None
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(p.faults_injected for p in self.proxies.values())
+
+    async def close(self) -> None:
+        for proxy in self.proxies.values():
+            await proxy.close()

@@ -201,6 +201,28 @@ class LoopbackCluster:
         self.kill(server_id)
         return self.start_server(server_id, extra_args)
 
+    def revive(self, armed: list[str] | None = None) -> list[str]:
+        """Restore the fleet to a clean, fully-alive state.
+
+        ``armed`` names servers that were started with a one-shot
+        ``--fault-plan``: they are restarted unconditionally (the plan
+        may not have fired yet, and verification traffic must not trip
+        it).  Any other daemon that died — an injected storage crash
+        exits with :data:`~repro.rt.faultfs.FAULT_EXIT_CODE` mid-case —
+        is started fresh without a plan.  Returns the ids restarted,
+        which get new ephemeral ports.  Used by the multi-fault fuzz
+        phase of ``repro crashsweep`` between cases.
+        """
+        restarted: list[str] = []
+        for sid in sorted(set(armed or [])):
+            self.restart(sid)
+            restarted.append(sid)
+        for sid, entry in self.servers.items():
+            if not entry.alive:
+                self.start_server(sid)
+                restarted.append(sid)
+        return restarted
+
     def stop(self) -> None:
         for entry in self.servers.values():
             if entry.process is not None and entry.process.poll() is None:
