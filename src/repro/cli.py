@@ -375,7 +375,8 @@ def _cmd_crashsweep(args: argparse.Namespace) -> int:
                        f"{report.net_points_enumerated} frame points, "
                        f"{len(report.net_cases)} fault cases "
                        f"({report.net_partition_cases} partition-"
-                       f"switch), {len(report.fuzz_cases)} fuzz"),
+                       f"switch, {report.net_handoff_cases} handoff), "
+                       f"{len(report.fuzz_cases)} fuzz"),
             ))
         if report.failures:
             print("\nFAILURES:")
@@ -444,7 +445,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             return 0 if reached else 1
         show = ["messages_handled", "forces_acked", "store_records",
                 "log_bytes", "fsyncs", "quota_rejections",
-                "tenant_streams"]
+                "tenant_streams", "fence_rejections", "fence_epoch"]
         rows = [
             tuple([sid] + [str(counters[k]) for k in show])
             for sid, counters in sorted(reached.items())

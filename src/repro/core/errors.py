@@ -123,6 +123,31 @@ class TenantQuotaExceeded(LogError):
         self.reason = reason
 
 
+class LogFenced(LogError):
+    """A server refused an operation because the stream was fenced.
+
+    Another client installed a higher ownership epoch for this log
+    (a linearizable handoff), so this writer's epoch is permanently
+    stale.  Like :class:`TenantQuotaExceeded` this is *not* a
+    per-server condition — the fence is installed on a quorum that
+    intersects every write set, so switching servers cannot help.
+    Unlike a quota it is also not transient: the old owner must stop
+    writing entirely (the log now belongs to someone else), so the
+    client surfaces it as a terminal error instead of retrying.
+    """
+
+    def __init__(self, server_id: str, epoch: int = 0,
+                 fence_epoch: int = 0, reason: str = ""):
+        super().__init__(
+            reason or
+            f"log server {server_id!r} fenced epoch {epoch}: stream "
+            f"ownership was taken over at epoch {fence_epoch}"
+        )
+        self.server_id = server_id
+        self.epoch = epoch
+        self.fence_epoch = fence_epoch
+
+
 class StorageError(LogError):
     """A server's durable storage failed (disk full, IO error).
 

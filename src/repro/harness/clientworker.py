@@ -9,7 +9,10 @@ instant it was killed.  Two modes:
 ``--mode run``
     ET1-shaped workload (Section 4.1: several buffered WriteLogs, then
     one forced commit per transaction), with optional Section 5.3
-    truncation rounds.  An injected crash plan
+    truncation rounds, ending with a fenced ownership handoff (a
+    second client instance seizes the stream via ``takeover()`` and
+    commits one more transaction — putting the ``client.handoff.*``
+    sites on the enumerable protocol trace).  An injected crash plan
     (:mod:`repro.rt.clientfault`, environment variables
     ``REPRO_CLIENT_FAULT_PLAN`` / ``REPRO_CLIENT_FAULT_TRACE``) kills
     the process at an exact protocol point.
@@ -20,6 +23,14 @@ instant it was killed.  Two modes:
     every LSN's final state, then proves the log is still live with a
     post-recovery transaction.
 
+``--mode takeover``
+    Like ``recover``, but via
+    :meth:`~repro.rt.client.AsyncReplicatedLog.takeover` — the
+    linearizable handoff that installs a durable fence before
+    recovering, so it works even while the *first* process is still
+    alive (merely partitioned) and writing.  The first process, once
+    fenced, journals ``FENCED`` and exits with status 3.
+
 Journal grammar (one record per line, hex-encoded payloads)::
 
     EPOCH <epoch>            initialize() finished with this epoch
@@ -28,7 +39,9 @@ Journal grammar (one record per line, hex-encoded payloads)::
     ACK <high>               an explicit force acked through <high>
     TRUNCREQ <low>           about to request truncation (no promise)
     TRUNC <low>              a truncation below <low> was acknowledged
+    FENCED                   a server refused us: ownership moved on
     RECOVERED <epoch> <high> (recover) restart done
+    TAKEOVER <epoch> <high>  (takeover) fenced handoff done
     FINAL <lsn> 1 <hex>      (recover) present record
     FINAL <lsn> 0            (recover) not-present (guard) record
     FINAL <lsn> -            (recover) unreadable / truncated away
@@ -48,9 +61,13 @@ import asyncio
 import sys
 
 from ..core.config import ReplicationConfig
-from ..core.errors import LogError, RecordNotPresent
+from ..core.errors import LogError, LogFenced, RecordNotPresent
 from ..rt import clientfault
 from ..rt.client import AsyncReplicatedLog
+
+#: exit status of a worker stopped by a fence (ownership handoff) —
+#: distinct from crash-plan exits and from genuine failures.
+EXIT_FENCED = 3
 
 
 def parse_servers(spec: str) -> dict[str, tuple[str, int]]:
@@ -103,11 +120,29 @@ async def _run_workload(args, say) -> None:
                 say(f"TRUNCREQ {low}")
                 await log.truncate(low)
                 say(f"TRUNC {low}")
+    # Handoff tail: a second instance of the same stream seizes
+    # ownership through the fenced takeover, then commits one more
+    # transaction.  A kill inside any client.handoff.* seam leaves a
+    # partially-installed fence the recover-mode restart must ride
+    # over (its fresh epoch always exceeds any standing fence).
+    taker = AsyncReplicatedLog(args.client_id, servers, config,
+                               timeout=args.timeout, batch_bytes=256)
+    taker.delta_controller.min_delta = taker.delta_controller.max_delta
+    await taker.takeover()
+    say(f"EPOCH {taker.current_epoch}")
+    for i in range(args.records_per_txn):
+        seq += 1
+        data = _payload(args.client_id, 9000, i)
+        say(f"ATTEMPT {seq} {data.hex()}")
+        lsn = await taker.write(data)
+        say(f"LSN {seq} {lsn}")
+    say(f"ACK {await taker.force()}")
     say("DONE")
+    await taker.close()
     await log.close()
 
 
-async def _run_recover(args, say) -> None:
+async def _run_recover(args, say, *, takeover: bool = False) -> None:
     servers = parse_servers(args.servers)
     config = ReplicationConfig(total_servers=args.m, copies=args.n,
                                delta=args.delta)
@@ -115,9 +150,13 @@ async def _run_recover(args, say) -> None:
     log = AsyncReplicatedLog(args.client_id, servers, config,
                              timeout=args.timeout, batch_bytes=256)
     log.delta_controller.min_delta = log.delta_controller.max_delta
-    await log.initialize()
+    if takeover:
+        await log.takeover()
+    else:
+        await log.initialize()
     high = log.end_of_log()
-    say(f"RECOVERED {log.current_epoch} {high}")
+    verb = "TAKEOVER" if takeover else "RECOVERED"
+    say(f"{verb} {log.current_epoch} {high}")
     for lsn in range(1, high + 1):
         try:
             record = await log.read(lsn)
@@ -147,7 +186,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="s1=host:port,s2=host:port,...")
     parser.add_argument("--journal", required=True,
                         help="line-buffered journal file (appended)")
-    parser.add_argument("--mode", choices=("run", "recover"),
+    parser.add_argument("--mode", choices=("run", "recover", "takeover"),
                         default="run")
     parser.add_argument("--client-id", default="sweep")
     parser.add_argument("--m", type=int, default=3)
@@ -169,7 +208,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.mode == "run":
             asyncio.run(_run_workload(args, say))
         else:
-            asyncio.run(_run_recover(args, say))
+            asyncio.run(_run_recover(args, say,
+                                     takeover=args.mode == "takeover"))
+    except LogFenced as exc:
+        # Ownership moved on mid-workload: journal the observation so
+        # the harness can prove the old writer *stopped*, and exit with
+        # a status it can tell apart from ordinary failures.
+        say("FENCED")
+        print(f"clientworker: {exc}", file=sys.stderr)
+        return EXIT_FENCED
     except LogError as exc:
         print(f"clientworker: {exc}", file=sys.stderr)
         return 1

@@ -133,6 +133,7 @@ class SweepReport:
     net_sites: dict[str, int] = field(default_factory=dict)
     net_cases: list[CrashCase] = field(default_factory=list)
     net_partition_cases: int = 0
+    net_handoff_cases: int = 0
     fuzz_cases: list[CrashCase] = field(default_factory=list)
     duration_s: float = 0.0
 
@@ -165,6 +166,7 @@ class SweepReport:
             "net_sites": dict(sorted(self.net_sites.items())),
             "net_cases": [c.as_dict() for c in self.net_cases],
             "net_partition_cases": self.net_partition_cases,
+            "net_handoff_cases": self.net_handoff_cases,
             "fuzz_cases": [c.as_dict() for c in self.fuzz_cases],
             "failures": [c.as_dict() for c in self.failures],
             "duration_s": round(self.duration_s, 3),
@@ -712,9 +714,12 @@ _CLIENT_COMBINED = (
 )
 
 #: the bounded CI smoke subset: one early restart-step point, one
-#: streamed-batch point, one partial-ack point, one mid-recovery point.
+#: streamed-batch point, one partial-ack point, one mid-recovery
+#: point, and one partial-fence-install point (killed between the
+#: first fence landing and the handoff's recovery).
 _CLIENT_QUICK_POINTS = ("client.epoch.written:0", "client.flush.sent:0",
-                        "client.force.ack:0", "client.recovery.copylog:0")
+                        "client.force.ack:0", "client.recovery.copylog:0",
+                        "client.handoff.fence.ack:0")
 
 
 def _worker_env(plan: str | None = None,
@@ -1116,6 +1121,7 @@ def run_crashsweep(config: SweepConfig, progress=None) -> SweepReport:
         report.net_sites = dict(net.sites)
         report.net_cases.extend(net.cases)
         report.net_partition_cases = net.partition_cases_run
+        report.net_handoff_cases = net.handoff_cases_run
         report.fuzz_cases.extend(net.fuzz_cases)
 
     report.duration_s = time.monotonic() - start

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.config import ReplicationConfig
-from ..core.errors import LogError
+from ..core.errors import LogError, LogFenced
 from ..core.retry import RetryPolicy
 from ..net.codec import RECORD_BEARING_KINDS
 from ..rt import clientfault
@@ -83,15 +83,25 @@ PARTITION_CASES = (
 
 #: storage faults the fuzzer draws (crash/wedge only — no silent
 #: corruption, which voids acked-durability and is the storage
-#: phase's own subject).
-_FUZZ_STORAGE_SITES = ("log.write.record", "log.fsync", "log.group-fsync")
+#: phase's own subject).  ``log.write.fence`` is the durable fence
+#: append of the workload's handoff tail.
+_FUZZ_STORAGE_SITES = ("log.write.record", "log.fsync", "log.group-fsync",
+                       "log.write.fence")
 _FUZZ_STORAGE_ACTIONS = ("power-loss", "eio")
 
 #: client protocol sites the fuzzer crashes in-process (action
-#: ``raise``; exit/sigkill would kill the harness itself).
+#: ``raise``; exit/sigkill would kill the harness itself).  The
+#: ``client.handoff.*`` sites are the takeover seams: after the epoch
+#: bump but before the fence, and after a partial fence install.
 _FUZZ_CLIENT_SITES = ("client.flush.sent", "client.force.ack",
                       "client.switch.begin", "client.recovery.copylog",
-                      "client.init.lists")
+                      "client.init.lists", "client.handoff.epoch",
+                      "client.handoff.fence.ack")
+
+#: payload prefix of every record the *fenced* old writer attempts
+#: after a handoff: the durable-file check greps for it, so it must
+#: never appear in any daemon's log.
+_STALE_PREFIX = b"stale."
 
 
 # -- the scripted workload ---------------------------------------------------
@@ -117,15 +127,7 @@ class NetJournal:
     crashed_at: str = ""
 
 
-async def _run_workload(addresses: dict, client_id: str,
-                        journal: NetJournal, *, seed: int = 0) -> None:
-    """Three 4-record transactions with explicit forces and one §5.3
-    truncation; the journal is updated only after each awaited call
-    returns (an interrupted call carries no durability promise)."""
-    loop = asyncio.get_running_loop()
-    # Injected faults abort in-flight futures by design; unretrieved
-    # exceptions are expected noise, not harness bugs.
-    loop.set_exception_handler(lambda lp, ctx: None)
+def _make_client(addresses: dict, client_id: str) -> AsyncReplicatedLog:
     log = AsyncReplicatedLog(
         client_id, addresses, _NET_CONFIG,
         timeout=_TIMEOUT, batch_bytes=256,
@@ -135,6 +137,24 @@ async def _run_workload(addresses: dict, client_id: str,
     # Pin δ so the implicit-force trigger cannot adapt mid-sweep and
     # shift frame counts between enumeration and the armed runs.
     log.delta_controller.min_delta = log.delta_controller.max_delta
+    return log
+
+
+async def _run_workload(addresses: dict, client_id: str,
+                        journal: NetJournal, *, seed: int = 0) -> None:
+    """Three 4-record transactions with explicit forces and one §5.3
+    truncation, then a fenced ownership handoff (a second instance
+    seizes the stream and commits one more transaction — putting the
+    fencelog frames and the ``client.handoff.*`` sites on the traced
+    protocol surface the sweep and fuzzer enumerate).  The journal is
+    updated only after each awaited call returns (an interrupted call
+    carries no durability promise)."""
+    loop = asyncio.get_running_loop()
+    # Injected faults abort in-flight futures by design; unretrieved
+    # exceptions are expected noise, not harness bugs.
+    loop.set_exception_handler(lambda lp, ctx: None)
+    log = _make_client(addresses, client_id)
+    taker: AsyncReplicatedLog | None = None
     try:
         await log.initialize()
         journal.epoch = log.current_epoch
@@ -157,9 +177,27 @@ async def _run_workload(addresses: dict, client_id: str,
                     journal.trunc_req = max(journal.trunc_req, low)
                     await log.truncate(low)
                     journal.trunc_ack = max(journal.trunc_ack, low)
+        taker = _make_client(addresses, client_id)
+        await taker.takeover()
+        journal.epoch = taker.current_epoch
+        for i in range(4):
+            payload = (f"{client_id}.t.{i}.".encode()
+                       + bytes((seed + 128 + 4 * i + j) % 256
+                               for j in range(64)))
+            journal.intents.append(payload)
+            lsn = await taker.write(payload)
+            journal.attempts[lsn] = payload
+        t0 = loop.time()
+        high = await taker.force()
+        journal.max_force_s = max(journal.max_force_s, loop.time() - t0)
+        journal.acked_high = max(journal.acked_high, high)
         journal.completed = True
     finally:
         journal.switches = max(journal.switches, log.server_switches)
+        if taker is not None:
+            journal.switches = max(journal.switches,
+                                   taker.server_switches)
+            await taker.close()
         await log.close()
 
 
@@ -309,7 +347,7 @@ def run_net_case(cluster: LoopbackCluster, index, spec: str, *,
             try:
                 await asyncio.wait_for(
                     _run_workload(fleet.addresses(), client_id, journal),
-                    timeout=30.0)
+                    timeout=60.0)
             except (LogError, OSError, asyncio.TimeoutError) as exc:
                 journal.aborted = repr(exc)
             return fleet.faults_injected
@@ -340,6 +378,158 @@ def run_net_case(cluster: LoopbackCluster, index, spec: str, *,
             case.errors.append(
                 f"daemon {sid} died during a network-only case")
             cluster.restart(sid)
+    case.errors.extend(
+        asyncio.run(_verify_case(cluster.addresses(), client_id,
+                                 journal)))
+    case.ok = not case.errors
+    return case
+
+
+# -- the curated linearizable-handoff case -----------------------------------
+
+
+def run_handoff_case(cluster: LoopbackCluster, index) -> CrashCase:
+    """Writer takeover with the *old owner alive and half-reachable*.
+
+    The adversarial shape §5.4 recovery alone cannot survive: the old
+    writer is partitioned ``s2c`` on every link — deaf, but its frames
+    still *reach* every daemon — while a second client seizes the
+    stream via :meth:`~repro.rt.client.AsyncReplicatedLog.takeover`.
+    The old writer then keeps forcing records (prefix
+    :data:`_STALE_PREFIX`); only the durable fence stands between them
+    and the log.  After healing, the case proves:
+
+    * the old writer observes the terminal :class:`LogFenced` (not an
+      endless retry loop) once it can hear replies again;
+    * **zero** stale records are durable — checked against each healed
+      daemon's on-disk files, reopened directly, not just through the
+      read path;
+    * the fence epoch itself is durable on at least ``M − N + 1``
+      servers, so every possible write set stays poisoned;
+    * the new owner's log is live throughout, and a final §5.4 restart
+      sees a monotone epoch and every acked record.
+    """
+    case = CrashCase(point="handoff.partition", action="takeover")
+    client_id = f"h{index}"
+    config = _NET_CONFIG
+    old_acked: dict[int, bytes] = {}
+    new_acked: dict[int, bytes] = {}
+    outcome: dict[str, object] = {"takeover_epoch": 0, "fenced": ""}
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        loop.set_exception_handler(lambda lp, ctx: None)
+        fleet = ProxyFleet(cluster.addresses())
+        await fleet.start()
+        old = _make_client(fleet.addresses(), client_id)
+        new = AsyncReplicatedLog(client_id, cluster.addresses(), config,
+                                 timeout=2.0)
+        try:
+            await old.initialize()
+            for txn in range(2):
+                for i in range(4):
+                    payload = f"{client_id}.pre.{txn}.{i}".encode()
+                    lsn = await old.write(payload)
+                    old_acked[lsn] = payload
+                await old.force()
+            # Half-partition the old writer: every proxy drops
+            # server→client, so it hears nothing — but its own frames
+            # still land on every daemon.
+            for proxy in fleet.proxies.values():
+                proxy.partition("s2c")
+            # The second process seizes the stream over its own links.
+            await new.takeover()
+            outcome["takeover_epoch"] = new.current_epoch
+            # The deaf old writer keeps forcing.  These frames reach
+            # the daemons; the fence must refuse them *before* any
+            # append, even though the refusals cannot be delivered.
+            for i in range(4):
+                payload = _STALE_PREFIX + f"{client_id}.{i}".encode()
+                await old.write(payload)
+            try:
+                await asyncio.wait_for(old.force(),
+                                       timeout=SWITCH_BUDGET_S)
+                outcome["fenced"] = "acked while deaf"
+            except LogFenced:
+                outcome["fenced"] = "fenced"
+            except (LogError, asyncio.TimeoutError):
+                pass  # expected: no acks can arrive through the block
+            # Heal: the old writer can hear again.  It keeps retrying
+            # exactly as a real writer would — riding out transient
+            # NotEnoughServers while its quarantined connections come
+            # back — and must observe the *terminal* refusal within
+            # the detection budget, never an ack.
+            fleet.heal()
+            deadline = loop.time() + 2 * SWITCH_BUDGET_S
+            while not outcome["fenced"]:
+                try:
+                    await asyncio.wait_for(old.force(),
+                                           timeout=SWITCH_BUDGET_S)
+                    outcome["fenced"] = "acked after heal"
+                except LogFenced:
+                    outcome["fenced"] = "fenced"
+                except (LogError, asyncio.TimeoutError) as exc:
+                    if loop.time() > deadline:
+                        outcome["fenced"] = f"not observed: {exc!r}"
+                    else:
+                        await asyncio.sleep(0.25)
+            # The new owner's log was live through all of it.
+            for i in range(4):
+                payload = f"{client_id}.post.{i}".encode()
+                lsn = await new.write(payload)
+                new_acked[lsn] = payload
+            await new.force()
+        finally:
+            await old.close()
+            await new.close()
+            await fleet.close()
+
+    try:
+        asyncio.run(run())
+    except (LogError, OSError, asyncio.TimeoutError) as exc:
+        case.errors.append(f"handoff case aborted: {exc!r}")
+    case.hit = True
+    if outcome["fenced"] != "fenced":
+        case.errors.append(
+            f"old writer was not terminally fenced: "
+            f"{outcome['fenced'] or 'no refusal observed'}")
+    # Durable-file check, per daemon: kill it, reopen its store the
+    # way a restart would, and look for leaked stale records and the
+    # standing fence.  The daemons come back healed afterwards.
+    from ..rt.filestore import FileLogStore
+    fence_holders = 0
+    for sid, entry in sorted(cluster.servers.items()):
+        if not entry.alive:
+            case.errors.append(f"daemon {sid} died during the handoff "
+                               f"case")
+            continue
+        cluster.kill(sid)
+        store = FileLogStore(entry.data_dir, sid)
+        try:
+            if store.fence_epoch(client_id) >= int(
+                    outcome["takeover_epoch"] or 1):
+                fence_holders += 1
+            for lsn in store.stored_lsns(client_id):
+                if store.read_record(client_id, lsn).data.startswith(
+                        _STALE_PREFIX):
+                    case.errors.append(
+                        f"stale record committed past the fence: "
+                        f"{sid} lsn {lsn}")
+        finally:
+            store.close()
+        cluster.start_server(sid)
+    if fence_holders < config.init_quorum:
+        case.errors.append(
+            f"fence durable on only {fence_holders} servers; "
+            f"{config.init_quorum} needed to poison every write set")
+    # Final §5.4 restart over the healed daemons: epoch monotone, all
+    # acked records (old pre-handoff + new post-handoff) durable, and
+    # nothing stale readable anywhere.
+    journal = NetJournal(epoch=int(outcome["takeover_epoch"] or 0),
+                         acked_high=max([*old_acked, *new_acked],
+                                        default=0))
+    journal.attempts = {**old_acked, **new_acked}
+    journal.intents = list(journal.attempts.values())
     case.errors.extend(
         asyncio.run(_verify_case(cluster.addresses(), client_id,
                                  journal)))
@@ -497,7 +687,7 @@ def run_fuzz_case(cluster: LoopbackCluster, index,
             try:
                 await asyncio.wait_for(
                     _run_workload(fleet.addresses(), client_id, journal),
-                    timeout=40.0)
+                    timeout=60.0)
             except ClientCrash as crash:
                 journal.crashed_at = crash.point
             except (LogError, OSError, asyncio.TimeoutError) as exc:
@@ -531,6 +721,7 @@ class NetPhaseResult:
     sites: dict[str, int] = field(default_factory=dict)
     cases: list[CrashCase] = field(default_factory=list)
     partition_cases_run: int = 0
+    handoff_cases_run: int = 0
     fuzz_cases: list[CrashCase] = field(default_factory=list)
 
 
@@ -594,6 +785,14 @@ def run_net_phase(root: Path, *, quick: bool = False, sweep: bool = True,
                 if not case.ok:
                     say(f"FAIL net partition {case.spec}: "
                         f"{'; '.join(case.errors)}")
+            say("handoff phase: fenced takeover with the old writer "
+                "alive and half-partitioned")
+            case = run_handoff_case(cluster, "x0")
+            result.cases.append(case)
+            result.handoff_cases_run += 1
+            if not case.ok:
+                say(f"FAIL handoff {case.point}: "
+                    f"{'; '.join(case.errors)}")
         if fuzz:
             say(f"fuzz phase: {fuzz} composed multi-fault cases, "
                 f"seed {seed}")

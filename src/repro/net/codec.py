@@ -56,6 +56,8 @@ from .messages import (
     AckReply,
     CopyLogCall,
     ErrorReply,
+    FenceLogCall,
+    FenceReply,
     ForceLogMsg,
     GeneratorReadCall,
     GeneratorReadReply,
@@ -136,6 +138,8 @@ T_TRUNCATE_LOG = 20
 T_TRUNCATE_REPLY = 21
 T_STATS_CALL = 22
 T_STATS_REPLY = 23
+T_FENCE_LOG = 24
+T_FENCE_REPLY = 25
 
 #: Record kinds are a closed registry so one byte suffices on the wire
 #: (RECORD_HEADER_BYTES leaves no room for a string).  Every kind the
@@ -337,7 +341,11 @@ def _message_parts(
     elif isinstance(msg, PongMsg):
         mtype, a = T_PONG, msg.token
     elif isinstance(msg, TruncateLogCall):
-        mtype, a = T_TRUNCATE_LOG, msg.low_water_lsn
+        mtype, epoch, a = T_TRUNCATE_LOG, msg.epoch, msg.low_water_lsn
+    elif isinstance(msg, FenceLogCall):
+        mtype, epoch = T_FENCE_LOG, msg.epoch
+    elif isinstance(msg, FenceReply):
+        mtype, epoch = T_FENCE_REPLY, msg.epoch
     elif isinstance(msg, TruncateReply):
         mtype, a, b = T_TRUNCATE_REPLY, msg.low_water_lsn, msg.records_dropped
     elif isinstance(msg, StatsCall):
@@ -470,7 +478,11 @@ def decode(buf, record_images: list[bytes] | None = None) -> Message:
         if mtype == T_PONG:
             return PongMsg(client_id, token=a)
         if mtype == T_TRUNCATE_LOG:
-            return TruncateLogCall(client_id, low_water_lsn=a)
+            return TruncateLogCall(client_id, low_water_lsn=a, epoch=epoch)
+        if mtype == T_FENCE_LOG:
+            return FenceLogCall(client_id, epoch=epoch)
+        if mtype == T_FENCE_REPLY:
+            return FenceReply(client_id, epoch=epoch)
         if mtype == T_TRUNCATE_REPLY:
             return TruncateReply(client_id, low_water_lsn=a,
                                  records_dropped=b)
@@ -717,6 +729,8 @@ TYPE_NAMES: dict[int, str] = {
     T_TRUNCATE_REPLY: "truncatereply",
     T_STATS_CALL: "statscall",
     T_STATS_REPLY: "statsreply",
+    T_FENCE_LOG: "fencelog",
+    T_FENCE_REPLY: "fencereply",
 }
 NAME_TYPES: dict[str, int] = {v: k for k, v in TYPE_NAMES.items()}
 

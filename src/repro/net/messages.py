@@ -248,6 +248,10 @@ ERR_PROTOCOL = 2
 #: fleet-wide condition, not a per-server one: the client should back
 #: off and retry, not switch servers.
 ERR_QUOTA = 3
+#: The stream was fenced at a higher ownership epoch (a linearizable
+#: handoff took the log away from this writer).  Terminal for the old
+#: owner: neither retrying nor switching servers can ever succeed.
+ERR_FENCED = 4
 
 
 @dataclass(slots=True)
@@ -306,9 +310,14 @@ class TruncateLogCall(Message):
     (Section 5.3) — this call carries the resulting low-water mark to a
     log server, which may drop every stored record of this client with
     a lower LSN and compact its append stream.
+
+    ``epoch`` is the caller's ownership epoch, checked against the
+    stream's fence.  Epoch 0 marks a legacy/unfenced caller: it passes
+    only while no fence has ever been installed for the stream.
     """
 
     low_water_lsn: LSN = 1
+    epoch: Epoch = 0
 
 
 @dataclass(slots=True)
@@ -317,6 +326,38 @@ class TruncateReply(Message):
 
     low_water_lsn: LSN = 1
     records_dropped: int = 0
+
+
+# -- ownership fencing (linearizable handoff) ---------------------------------
+#
+# The paper restricts each log to a single client; fencing is what
+# makes *changing* that client safe under partitions.  A new owner
+# draws a higher epoch from the Appendix-I generator quorum and
+# installs it as the stream's fence on at least M−N+1 servers — every
+# N-server write set intersects that quorum, so any in-flight
+# WriteLog/ForceLog/TruncateLog from the old owner (whose epoch is now
+# below the fence) is refused with ``ERR_FENCED`` before a byte is
+# appended.  The fence is durable: a server that crashes and recovers
+# still refuses the fenced writer.
+
+
+@dataclass(slots=True)
+class FenceLogCall(Message):
+    """Install ``epoch`` as the fence for this client's stream.
+
+    Monotone: a fence below the stream's current fence is refused
+    (``ERR_FENCED`` carries the standing fence), so two racing
+    takeovers linearize on the generator epoch order.
+    """
+
+    epoch: Epoch = 0
+
+
+@dataclass(slots=True)
+class FenceReply(Message):
+    """Acknowledges a FenceLog: the stream's standing fence epoch."""
+
+    epoch: Epoch = 0
 
 
 # -- stats (the operator/metrics endpoint) -----------------------------------
@@ -345,6 +386,9 @@ STATS_COUNTERS: tuple[str, ...] = (
     # multi-tenant admission (appended after the group-commit block)
     "quota_rejections",    # writes/forces refused with ERR_QUOTA
     "tenant_streams",      # distinct client streams admitted, all tenants
+    # ownership fencing (appended after the admission block)
+    "fence_rejections",    # writes/forces/truncates refused with ERR_FENCED
+    "fence_epoch",         # this client's standing fence (0 = unfenced)
 )
 
 

@@ -51,6 +51,7 @@ from typing import Awaitable, Callable, Mapping
 
 from ..core.config import ReplicationConfig
 from ..core.errors import (
+    LogFenced,
     LSNNotWritten,
     NotEnoughServers,
     NotInitialized,
@@ -71,9 +72,12 @@ from ..core.records import (
 from ..core.retry import RetryPolicy
 from ..net.codec import FrameReader, encode_stored_record, frame, frame_iov
 from ..net.messages import (
+    ERR_FENCED,
     ERR_QUOTA,
     CopyLogCall,
     ErrorReply,
+    FenceLogCall,
+    FenceReply,
     ForceLogMsg,
     GeneratorReadCall,
     GeneratorReadReply,
@@ -102,11 +106,18 @@ def _reply_error(server_id: str, reply: ErrorReply) -> Exception:
     """The exception a typed ErrorReply maps to.
 
     ``ERR_QUOTA`` is a fleet-wide admission condition — back off, do
-    not switch servers; everything else stays the per-server failure
-    the core algorithm routes around.
+    not switch servers; ``ERR_FENCED`` means the stream's ownership
+    was taken over at a higher epoch — *terminal* for this writer, so
+    it must surface as :class:`LogFenced` (never
+    :class:`ServerUnavailable`, which would burn spares retrying an
+    operation no server will ever accept again); everything else stays
+    the per-server failure the core algorithm routes around.
     """
     if reply.code == ERR_QUOTA:
         return TenantQuotaExceeded(server_id, reply.reason)
+    if reply.code == ERR_FENCED:
+        return LogFenced(server_id,
+                         reason=f"log server {server_id!r}: {reply.reason}")
     return ServerUnavailable(server_id, reply.reason)
 
 
@@ -673,6 +684,8 @@ class AsyncReplicatedLog:
         self.records_truncated = 0
         self.quota_throttles = 0
         self.rebalance_moves = 0
+        self.takeovers_performed = 0
+        self.fences_installed = 0
 
     # -- connection management ----------------------------------------
 
@@ -752,6 +765,96 @@ class AsyncReplicatedLog:
         await async_retry(attempt, self.retry_policy, self.rng,
                           on_retry=on_retry)
         self.recoveries_performed += 1
+
+    async def takeover(self) -> None:
+        """Seize ownership of the stream from a possibly-live writer.
+
+        :meth:`initialize` assumes the previous owner is *gone* — its
+        unacknowledged window may be discarded, but nothing stops the
+        old process from writing again if it was merely partitioned.
+        This is the linearizable handoff: after gathering interval
+        lists and drawing a fresh epoch exactly as a restart would, a
+        **fence** at the new epoch is installed durably on at least
+        ``M − N + 1`` servers *before* recovery runs.  Every N-server
+        write set intersects that fence set, so any ForceLog the old
+        owner issues after this point is refused with ``ERR_FENCED``
+        on at least one required server and can never be acknowledged
+        — the old writer observes a terminal :class:`LogFenced`
+        instead of silently diverging the log.
+
+        The handoff point is the fence install: records the old owner
+        forced *before* it may commit, records after it cannot.  The
+        interval lists recovery runs against are therefore gathered
+        (again) **after** the fence is in place — a first gather only
+        seeds the epoch floor.  Lists read before the fence could miss
+        a force the old owner got acknowledged in the gap, and
+        recovery would silently drop an acknowledged record; once the
+        fence holds, no new ack can form, and every already-acked
+        record sits on N servers, at least one of which is in any
+        ``M − N + 1`` gather quorum.  Like :meth:`initialize` this
+        retries on quorum shortfalls; it raises :class:`LogFenced` if
+        a yet-newer owner fenced past us mid-takeover (takeovers
+        themselves linearize through the monotone fence epoch).
+        """
+
+        async def attempt() -> None:
+            await self._ensure_connections()
+            clientfault.hit("client.handoff.connect")
+            lists = await self._gather_interval_lists()
+            clientfault.hit("client.handoff.lists")
+            floor = MergedIntervalMap.merge(lists).highest_epoch()
+            epoch = await self._new_epoch(floor)
+            clientfault.hit("client.handoff.epoch")
+            await self._install_fence(epoch)
+            clientfault.hit("client.handoff.fenced")
+            # Post-fence gather: the state as of the handoff point.
+            merged = MergedIntervalMap.merge(
+                await self._gather_interval_lists())
+            await self._perform_recovery(merged, epoch)
+
+        async def on_retry(_attempt: int) -> None:
+            await self._ensure_connections()
+
+        await async_retry(attempt, self.retry_policy, self.rng,
+                          on_retry=on_retry)
+        self.recoveries_performed += 1
+        self.takeovers_performed += 1
+
+    async def _install_fence(self, epoch: Epoch) -> int:
+        """Durably fence the stream at ``epoch`` on enough servers.
+
+        Tries *every* reachable server (the wider the fence, the
+        sooner the old owner hits it) but requires acknowledgment from
+        at least ``config.init_quorum`` — the ``M − N + 1`` floor that
+        guarantees intersection with every possible write set.  A
+        server answering ``ERR_FENCED`` means a higher epoch already
+        owns the stream: that :class:`LogFenced` is terminal for this
+        takeover and propagates.
+        """
+        fenced = 0
+        for sid in self._candidate_order():
+            conn = self._conns[sid]
+            if not conn.alive:
+                continue
+            try:
+                reply = await conn.call(
+                    FenceLogCall(self.client_id, epoch=epoch))
+            except ServerUnavailable:
+                continue
+            if isinstance(reply, FenceReply):
+                fenced += 1
+                self.fences_installed += 1
+                # Index 0 = the fence holds on one server only; the
+                # old owner is already locked out of write sets that
+                # include it, but not yet out of all of them.
+                clientfault.hit("client.handoff.fence.ack")
+        if fenced < self.config.init_quorum:
+            raise NotEnoughServers(
+                f"fence install needs {self.config.init_quorum} servers "
+                f"to guarantee write-set intersection; only {fenced} "
+                f"acknowledged"
+            )
+        return fenced
 
     async def _gather_interval_lists(self) -> list[ServerIntervals]:
         results: list[ServerIntervals] = []
@@ -1033,6 +1136,14 @@ class AsyncReplicatedLog:
                 *(forced(sid) for sid in targets),
                 return_exceptions=True,
             )
+            for result in results:
+                if isinstance(result, LogFenced):
+                    # Ownership was taken over: checked before any
+                    # per-server handling so a concurrent connection
+                    # failure cannot steer this force into a server
+                    # switch (and a wasted spare) when the whole
+                    # stream is already lost to a higher epoch.
+                    raise result
             for sid, result in zip(targets, results):
                 if isinstance(result, TenantQuotaExceeded):
                     # A fleet-wide admission condition: switching
@@ -1211,7 +1322,8 @@ class AsyncReplicatedLog:
                 continue
             try:
                 reply = await conn.call(
-                    TruncateLogCall(self.client_id, low_water_lsn=low_water)
+                    TruncateLogCall(self.client_id, low_water_lsn=low_water,
+                                    epoch=self._epoch)
                 )
             except ServerUnavailable:
                 continue

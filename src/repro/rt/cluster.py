@@ -256,7 +256,8 @@ class LoopbackCluster:
                 if entry.port}
 
     def cluster_spec(self, *, copies: int = 2, delta: int = 8,
-                     vnodes: int | None = None, quotas=None):
+                     vnodes: int | None = None, quotas=None,
+                     capacities=None):
         """A :class:`~repro.rt.placement.ClusterSpec` over this roster.
 
         Built after :meth:`start` (the ephemeral ports must be known);
@@ -270,6 +271,7 @@ class LoopbackCluster:
             delta=delta,
             vnodes=vnodes if vnodes is not None else DEFAULT_VNODES,
             quotas=dict(quotas or {}),
+            capacities=dict(capacities or {}),
         )
 
     def write_spec(self, path: str | None = None, **spec_kwargs) -> str:

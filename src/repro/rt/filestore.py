@@ -35,6 +35,9 @@ followed by a type-specific payload:
   CRC-32 of the data, then the data) — the on-disk and on-wire record
   bytes are identical;
 * ``INSTALL``: ``!II`` — epoch, CRC-32 of the epoch field;
+* ``FENCE``: ``!II`` — the client stream's fence epoch, CRC-32 of the
+  epoch field (ownership handoff: writes below the fence are refused,
+  and the refusal must survive a crash);
 * ``GENERATOR``: ``!QI`` — value, CRC-32 of the value field (the
   Appendix I generator-state representative riding on the log server
   node).
@@ -86,6 +89,7 @@ _ENTRY = struct.Struct("!HB16s")
 _INSTALL = struct.Struct("!II")
 _GENERATOR = struct.Struct("!QI")
 _TRUNCATE = struct.Struct("!II")
+_FENCE = struct.Struct("!II")
 
 E_RECORD = 1
 E_STAGED = 2
@@ -104,6 +108,12 @@ E_TRUNCATE = 5
 #: stale (discarded and rebuilt from the log scan) instead of silently
 #: mapping LSNs to byte offsets in a different stream.
 E_META = 6
+#: Ownership fence: the entry's client stream refuses any
+#: WriteLog/ForceLog/TruncateLog below the stored epoch (``!II`` epoch
+#: + CRC, like ``E_INSTALL``).  Durable so a server that crashes and
+#: recovers still fences the superseded writer — the linearizable
+#: handoff's safety rests on the fence never being forgotten.
+E_FENCE = 7
 
 #: injector site name per entry type (``faultfs`` crash-point naming).
 _ETYPE_SITES = {
@@ -113,6 +123,7 @@ _ETYPE_SITES = {
     E_GENERATOR: "log.write.generator",
     E_TRUNCATE: "log.write.truncate",
     E_META: "log.write.meta",
+    E_FENCE: "log.write.fence",
 }
 
 PAGE_MAGIC = 0x4C46
@@ -275,6 +286,11 @@ class FileLogStore:
         self.server_id = server_id
         self.mem = LogServerStore(server_id)
         self.generator_value = 0
+        #: client id → standing fence epoch (ownership handoff);
+        #: populated by replay, advanced only monotonically.
+        self.fence_epochs: dict[str, int] = {}
+        #: WriteLog/ForceLog/TruncateLog calls refused below a fence.
+        self.fence_rejections = 0
         #: size watermark fallback (Section 5.3): when ``log.dat``
         #: exceeds this many bytes, the stream is compacted against the
         #: clients' declared low-water marks without waiting for the
@@ -348,6 +364,10 @@ class FileLogStore:
                                              if lsn >= payload]
                 elif etype == E_META:
                     self.log_generation = max(self.log_generation, payload)
+                elif etype == E_FENCE:
+                    self.fence_epochs[client_id] = max(
+                        self.fence_epochs.get(client_id, 0), payload
+                    )
                 else:  # E_GENERATOR
                     self.generator_value = max(self.generator_value, payload)
             except ProtocolError:
@@ -410,7 +430,7 @@ class FileLogStore:
                         self.crc_rejections += 1
                 return None
             return etype, client_id, record, end
-        if etype in (E_INSTALL, E_TRUNCATE):
+        if etype in (E_INSTALL, E_TRUNCATE, E_FENCE):
             if body + _INSTALL.size > len(raw):
                 return None
             value, crc = _INSTALL.unpack_from(raw, body)
@@ -611,6 +631,34 @@ class FileLogStore:
             )
             self.generator_value = value
 
+    # -- ownership fencing --------------------------------------------
+
+    def fence_epoch(self, client_id: str) -> int:
+        """The stream's standing fence epoch (0 = never fenced)."""
+        return self.fence_epochs.get(client_id, 0)
+
+    def fence_write(self, client_id: str, epoch: int) -> int:
+        """Durably install ``epoch`` as the stream's fence; return the
+        standing fence.
+
+        Monotone like :meth:`generator_write`: a fence at or below the
+        standing one writes nothing (two racing takeovers linearize on
+        the generator's epoch order — the higher fence wins and the
+        lower one is told so).  The entry is fsync'd before the call
+        returns: a fence that is acknowledged must survive a crash, or
+        the old writer could commit through a recovered server.
+        """
+        standing = self.fence_epochs.get(client_id, 0)
+        if epoch > standing:
+            epoch_bytes = struct.pack("!I", epoch)
+            self._append_entry(
+                E_FENCE, client_id,
+                _FENCE.pack(epoch, zlib.crc32(epoch_bytes)), fsync=True,
+            )
+            self.fence_epochs[client_id] = epoch
+            standing = epoch
+        return standing
+
     # -- Section 5.3: log space management ------------------------------
 
     def truncate_below(self, client_id: str, low_water: LSN) -> int:
@@ -662,10 +710,11 @@ class FileLogStore:
     def _compact(self) -> None:
         """Rewrite ``log.dat`` as a checkpoint of the in-memory state.
 
-        The compacted stream carries, per client: the truncation mark,
-        every retained record in write order (a subsequence of a
-        legally ordered stream is legally ordered), and any staged-but-
-        uninstalled CopyLog records; plus the generator value.  Install
+        The compacted stream carries every standing fence epoch, then,
+        per client: the truncation mark, every retained record in write
+        order (a subsequence of a legally ordered stream is legally
+        ordered), and any staged-but-uninstalled CopyLog records; plus
+        the generator value.  Install
         markers are not rewritten — installed copies are already
         materialized as records.  Replaying the compacted stream
         reconstructs the exact same in-memory state.
@@ -697,6 +746,11 @@ class FileLogStore:
                 gen_bytes = struct.pack("!Q", generation)
                 emit(E_META, "",
                      _GENERATOR.pack(generation, zlib.crc32(gen_bytes)))
+                for cid in sorted(self.fence_epochs):
+                    fence = self.fence_epochs[cid]
+                    fence_bytes = struct.pack("!I", fence)
+                    emit(E_FENCE, cid,
+                         _FENCE.pack(fence, zlib.crc32(fence_bytes)))
                 for client_id in self.mem.known_clients():
                     state = self.mem.client_state(client_id)
                     if state.truncated_below:

@@ -86,19 +86,34 @@ class HashRing:
     :meth:`with_server` / :meth:`without_server`.  Every point is
     ``_hash64("<sid>#<vnode>")``, so two processes holding the same
     roster hold byte-identical rings.
+
+    ``capacities`` weights servers for heterogeneous fleets: a server
+    with capacity ``c`` gets ``round(vnodes * c)`` virtual nodes (at
+    least 1), so a box declared twice as big draws ~twice the arc — and
+    with it ~twice the streams.  Servers absent from the mapping weigh
+    1.0, so a capacity-free roster builds the exact same ring as
+    before.
     """
 
     def __init__(self, server_ids: Iterable[str], *,
-                 vnodes: int = DEFAULT_VNODES):
+                 vnodes: int = DEFAULT_VNODES,
+                 capacities: Mapping[str, float] | None = None):
         self.server_ids = tuple(sorted(set(server_ids)))
         if not self.server_ids:
             raise ConfigurationError("a hash ring needs at least one server")
         if vnodes < 1:
             raise ConfigurationError("vnodes must be at least 1")
         self.vnodes = vnodes
+        self.capacities = {sid: float(c)
+                           for sid, c in dict(capacities or {}).items()
+                           if sid in self.server_ids}
+        for sid, c in self.capacities.items():
+            if not c > 0:
+                raise ConfigurationError(
+                    f"server {sid!r} capacity must be positive, got {c}")
         points: list[tuple[int, str]] = []
         for sid in self.server_ids:
-            for v in range(vnodes):
+            for v in range(self.vnode_count(sid)):
                 points.append((_hash64(f"{sid}#{v}"), sid))
         # Ties (vanishingly rare at 64 bits) break by server id, so
         # the ring stays deterministic even then.
@@ -134,12 +149,23 @@ class HashRing:
         """
         return self.successors(key, len(self.server_ids))
 
-    def with_server(self, server_id: str) -> "HashRing":
-        return HashRing(self.server_ids + (server_id,), vnodes=self.vnodes)
+    def vnode_count(self, server_id: str) -> int:
+        """Virtual nodes this server contributes (capacity-weighted)."""
+        return max(1, round(self.vnodes * self.capacities.get(server_id,
+                                                              1.0)))
+
+    def with_server(self, server_id: str, *,
+                    capacity: float | None = None) -> "HashRing":
+        capacities = dict(self.capacities)
+        if capacity is not None:
+            capacities[server_id] = capacity
+        return HashRing(self.server_ids + (server_id,),
+                        vnodes=self.vnodes, capacities=capacities)
 
     def without_server(self, server_id: str) -> "HashRing":
         rest = [sid for sid in self.server_ids if sid != server_id]
-        return HashRing(rest, vnodes=self.vnodes)
+        return HashRing(rest, vnodes=self.vnodes,
+                        capacities=self.capacities)
 
 
 @dataclass(frozen=True, slots=True)
@@ -159,17 +185,22 @@ class TenantQuota:
     max_records_per_s: float = 0.0
     #: burst allowance, in seconds of rate (bucket capacity).
     burst_s: float = 1.0
+    #: seconds a stream slot may sit idle before it can be reclaimed
+    #: to admit a new stream (0 = sticky for the daemon's lifetime).
+    idle_ttl_s: float = 0.0
 
     def as_dict(self) -> dict:
         return {"max_streams": self.max_streams,
                 "max_records_per_s": self.max_records_per_s,
-                "burst_s": self.burst_s}
+                "burst_s": self.burst_s,
+                "idle_ttl_s": self.idle_ttl_s}
 
     @classmethod
     def from_dict(cls, raw: Mapping) -> "TenantQuota":
         return cls(max_streams=int(raw.get("max_streams", 0)),
                    max_records_per_s=float(raw.get("max_records_per_s", 0.0)),
-                   burst_s=float(raw.get("burst_s", 1.0)))
+                   burst_s=float(raw.get("burst_s", 1.0)),
+                   idle_ttl_s=float(raw.get("idle_ttl_s", 0.0)))
 
 
 @dataclass(slots=True)
@@ -184,8 +215,14 @@ class ClusterSpec:
 
         {"servers": {"s1": "127.0.0.1:4001", ...},
          "copies": 2, "delta": 8, "vnodes": 128,
+         "capacities": {"s1": 2.0},
          "quotas": {"acme": {"max_streams": 4,
                              "max_records_per_s": 2000}}}
+
+    ``capacities`` is the weighted-placement policy: a server's
+    capacity multiplies its virtual-node count on the ring (absent =
+    1.0), so heterogeneous fleets declare their big boxes once in the
+    spec and every process places streams proportionally.
     """
 
     servers: dict[str, tuple[str, int]]
@@ -193,6 +230,7 @@ class ClusterSpec:
     delta: int = 8
     vnodes: int = DEFAULT_VNODES
     quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    capacities: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.servers and self.copies > len(self.servers):
@@ -200,13 +238,17 @@ class ClusterSpec:
                 f"spec names N={self.copies} copies but only "
                 f"{len(self.servers)} servers"
             )
+        for sid in self.capacities:
+            if self.servers and sid not in self.servers:
+                raise ConfigurationError(
+                    f"capacity for unknown server {sid!r}")
 
     def config(self) -> ReplicationConfig:
         return ReplicationConfig(total_servers=len(self.servers),
                                  copies=self.copies, delta=self.delta)
 
     def as_dict(self) -> dict:
-        return {
+        doc = {
             "servers": {sid: f"{host}:{port}"
                         for sid, (host, port) in sorted(self.servers.items())},
             "copies": self.copies,
@@ -215,6 +257,10 @@ class ClusterSpec:
             "quotas": {tenant: quota.as_dict()
                        for tenant, quota in sorted(self.quotas.items())},
         }
+        if self.capacities:
+            doc["capacities"] = {sid: cap for sid, cap
+                                 in sorted(self.capacities.items())}
+        return doc
 
     @classmethod
     def from_dict(cls, raw: Mapping) -> "ClusterSpec":
@@ -235,6 +281,8 @@ class ClusterSpec:
             vnodes=int(raw.get("vnodes", DEFAULT_VNODES)),
             quotas={str(t): TenantQuota.from_dict(q)
                     for t, q in dict(raw.get("quotas", {})).items()},
+            capacities={str(s): float(c)
+                        for s, c in dict(raw.get("capacities", {})).items()},
         )
 
     def save(self, path: str) -> str:
@@ -264,7 +312,8 @@ class PlacementDirectory:
             raise ConfigurationError("placement needs a non-empty roster")
         self.spec = spec
         self.version = version
-        self.ring = HashRing(spec.servers, vnodes=spec.vnodes)
+        self.ring = HashRing(spec.servers, vnodes=spec.vnodes,
+                             capacities=spec.capacities)
 
     # -- what a client asks --------------------------------------------
 
@@ -296,7 +345,10 @@ class PlacementDirectory:
                    if sid != server_id}
         spec = ClusterSpec(servers=servers, copies=self.spec.copies,
                            delta=self.spec.delta, vnodes=self.spec.vnodes,
-                           quotas=dict(self.spec.quotas))
+                           quotas=dict(self.spec.quotas),
+                           capacities={sid: cap for sid, cap
+                                       in self.spec.capacities.items()
+                                       if sid != server_id})
         return PlacementDirectory(spec, version=self.version + 1)
 
     def with_server(self, server_id: str,
@@ -306,7 +358,8 @@ class PlacementDirectory:
         servers[server_id] = address
         spec = ClusterSpec(servers=servers, copies=self.spec.copies,
                            delta=self.spec.delta, vnodes=self.spec.vnodes,
-                           quotas=dict(self.spec.quotas))
+                           quotas=dict(self.spec.quotas),
+                           capacities=dict(self.spec.capacities))
         return PlacementDirectory(spec, version=self.version + 1)
 
     # -- introspection -------------------------------------------------
@@ -332,6 +385,10 @@ class PlacementDirectory:
         doc = {"servers": sorted(self.spec.servers),
                "copies": self.spec.copies,
                "vnodes": self.spec.vnodes}
+        if self.spec.capacities:
+            # Capacities reshape the ring, so they reshape write sets;
+            # omitted when empty so capacity-free digests are unchanged.
+            doc["capacities"] = sorted(self.spec.capacities.items())
         return sha256(json.dumps(doc, sort_keys=True).encode()).hexdigest()
 
 

@@ -51,6 +51,7 @@ from ..core.errors import LogError, ProtocolError, RecordNotStored, StorageError
 from ..core.records import LSN, StoredRecord
 from ..net.codec import FrameReader, frame, frame_new_high_lsn
 from ..net.messages import (
+    ERR_FENCED,
     ERR_GENERIC,
     ERR_PROTOCOL,
     ERR_QUOTA,
@@ -60,6 +61,8 @@ from ..net.messages import (
     AckReply,
     CopyLogCall,
     ErrorReply,
+    FenceLogCall,
+    FenceReply,
     ForceLogMsg,
     GeneratorReadCall,
     GeneratorReadReply,
@@ -124,8 +127,11 @@ class LogServerDaemon:
             tuple[asyncio.StreamWriter, str, LSN]] = []
         self._sync_task: asyncio.Task | None = None
         self._sync_wanted = asyncio.Event()
-        #: tenant → client streams this daemon has admitted.
-        self._tenant_streams: dict[str, set[str]] = {}
+        #: tenant → {client stream: last-activity monotonic time}.  A
+        #: stream slot is sticky while active; a tenant quota with an
+        #: ``idle_ttl_s`` lets slots idle out and be reclaimed, so
+        #: tenants can churn stream ids without a daemon restart.
+        self._tenant_streams: dict[str, dict[str, float]] = {}
         #: tenant → [tokens, last_refill] for the records/s bucket.
         self._tenant_buckets: dict[str, list[float]] = {}
         self.quota_rejections = 0
@@ -179,8 +185,10 @@ class LogServerDaemon:
                 if msg is None:
                     break
                 self.messages_handled += 1
-                denial = (self._admit(msg) if self.quotas
-                          and isinstance(msg, WriteLogMsg) else None)
+                denial = self._fence_denial(msg)
+                if denial is None and self.quotas \
+                        and isinstance(msg, WriteLogMsg):
+                    denial = self._admit(msg)
                 if denial is not None:
                     replies = [denial]
                 elif self.group_commit and isinstance(msg, ForceLogMsg):
@@ -284,6 +292,53 @@ class LogServerDaemon:
         except (ConnectionError, OSError):  # pragma: no cover - races
             pass
 
+    # -- ownership fencing ---------------------------------------------
+
+    def _fence_denial(self, msg: Message) -> ErrorReply | None:
+        """Refuse a stale-epoch append/truncate on a fenced stream.
+
+        Checked *before* admission and before any byte reaches the
+        store, so a fenced writer's ForceLog is neither appended nor
+        parked for group commit — it provably commits nothing.
+        NewInterval is covered too: a fenced writer must not move the
+        stream's interval expectation out from under the new owner.
+        Epoch 0 (a legacy/unfenced caller) passes only while no fence
+        exists.
+        """
+        if not isinstance(msg, (WriteLogMsg, NewIntervalMsg,
+                                TruncateLogCall)):
+            return None
+        fence = self.store.fence_epoch(msg.client_id)
+        if fence and msg.epoch < fence:
+            self.store.fence_rejections += 1
+            return ErrorReply(
+                msg.client_id,
+                f"stream fenced at epoch {fence}; "
+                f"epoch {msg.epoch} is superseded",
+                code=ERR_FENCED,
+            )
+        return None
+
+    def _on_fence(self, msg: FenceLogCall) -> list[Message]:
+        """Durably install a fence epoch for the client's stream.
+
+        Monotone: an attempt below the standing fence is answered with
+        ``ERR_FENCED`` (the *installer* lost a takeover race and must
+        stop, exactly like a fenced writer), an equal attempt is an
+        idempotent retransmission, and a higher one is fsync'd before
+        the acknowledging :class:`FenceReply` leaves the daemon.
+        """
+        standing = self.store.fence_write(msg.client_id, msg.epoch)
+        if standing > msg.epoch:
+            self.store.fence_rejections += 1
+            return [ErrorReply(
+                msg.client_id,
+                f"stream fenced at epoch {standing}; "
+                f"epoch {msg.epoch} is superseded",
+                code=ERR_FENCED,
+            )]
+        return [FenceReply(msg.client_id, epoch=standing)]
+
     # -- multi-tenant admission ----------------------------------------
 
     def _admit(self, msg: WriteLogMsg) -> ErrorReply | None:
@@ -298,6 +353,12 @@ class LogServerDaemon:
         the same reply shape a wedged disk produces — clients already
         know how to react to a refused call, they just back off instead
         of switching servers.
+
+        When the quota sets ``idle_ttl_s``, a full stream table is
+        swept before refusing a new stream: slots whose last activity
+        is older than the TTL are evicted, so a tenant that churns
+        short-lived stream ids is re-admitted instead of being wedged
+        behind dead slots until the daemon restarts.
         """
         tenant = tenant_of(msg.client_id)
         quota = self.quotas.get(tenant)
@@ -305,8 +366,15 @@ class LogServerDaemon:
             quota = self.quotas.get("*")
         if quota is None:
             return None
-        streams = self._tenant_streams.setdefault(tenant, set())
+        streams = self._tenant_streams.setdefault(tenant, {})
+        now = time.monotonic()
         if msg.client_id not in streams:
+            if quota.idle_ttl_s and quota.max_streams \
+                    and len(streams) >= quota.max_streams:
+                cutoff = now - quota.idle_ttl_s
+                for cid in [c for c, last in streams.items()
+                            if last <= cutoff]:
+                    del streams[cid]
             if quota.max_streams and len(streams) >= quota.max_streams:
                 self.quota_rejections += 1
                 return ErrorReply(
@@ -315,7 +383,7 @@ class LogServerDaemon:
                     f"({quota.max_streams}) exhausted",
                     code=ERR_QUOTA,
                 )
-            streams.add(msg.client_id)
+        streams[msg.client_id] = now
         if quota.max_records_per_s and isinstance(msg, ForceLogMsg):
             now = time.monotonic()
             bucket = self._tenant_buckets.get(tenant)
@@ -373,6 +441,8 @@ class LogServerDaemon:
             return [PongMsg(msg.client_id, token=msg.token)]
         if isinstance(msg, TruncateLogCall):
             return self._guarded(msg, self._on_truncate)
+        if isinstance(msg, FenceLogCall):
+            return self._guarded(msg, self._on_fence)
         if isinstance(msg, StatsCall):
             return [self._on_stats(msg)]
         return [ErrorReply(msg.client_id,
@@ -500,6 +570,8 @@ class LogServerDaemon:
             "quota_rejections": self.quota_rejections,
             "tenant_streams": sum(len(s)
                                   for s in self._tenant_streams.values()),
+            "fence_rejections": store.fence_rejections,
+            "fence_epoch": store.fence_epoch(msg.client_id),
         }
         counters = tuple(values[name] for name in STATS_COUNTERS)
         return StatsReply(msg.client_id, counters)

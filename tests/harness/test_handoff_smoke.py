@@ -1,0 +1,108 @@
+"""Two-OS-process ownership handoff against real ``repro serve`` daemons.
+
+The CI smoke for the linearizable handoff: process A (clientworker
+``--mode run``) streams transactions against a live fleet; mid-run,
+process B (``--mode takeover``) seizes the stream — generator epoch
+bump, durable fence on ≥ M−N+1 servers, Section 5.4 recovery.  The
+check is the whole point of fencing:
+
+* A observes the *terminal* refusal (journals ``FENCED``, exits with
+  status 3) instead of retrying forever or, worse, committing;
+* B's recovered log contains, byte-identical, every record A had
+  acknowledged before the fence landed;
+* the stream stays live for B (post-takeover writes are acked).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.harness.clientworker import EXIT_FENCED
+from repro.rt.cluster import LoopbackCluster
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _spawn(addresses, journal: Path, mode: str, txns: int):
+    servers = ",".join(f"{sid}={host}:{port}"
+                       for sid, (host, port) in sorted(addresses.items()))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.clientworker",
+         "--servers", servers, "--journal", str(journal),
+         "--mode", mode, "--m", "3", "--n", "2", "--delta", "4",
+         "--txns", str(txns), "--records-per-txn", "5"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_ack(journal: Path, timeout: float = 30.0) -> None:
+    """Block until the writer has at least one acknowledged txn."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.exists() and any(
+                line.startswith("ACK ")
+                for line in journal.read_text().splitlines()):
+            return
+        time.sleep(0.05)
+    raise AssertionError("writer never acknowledged a transaction")
+
+
+def test_second_process_takes_over_live_writer(tmp_path):
+    a_journal = tmp_path / "writer.journal"
+    b_journal = tmp_path / "taker.journal"
+    with LoopbackCluster(tmp_path / "data", num_servers=3) as cluster:
+        # Enough transactions that A is still mid-run when B lands;
+        # the fence ends A long before it gets through them.
+        writer = _spawn(cluster.addresses(), a_journal, "run", txns=400)
+        taker = None
+        try:
+            _wait_for_ack(a_journal)
+            taker = _spawn(cluster.addresses(), b_journal, "takeover",
+                           txns=1)
+            assert taker.wait(timeout=60.0) == 0
+            assert writer.wait(timeout=60.0) == EXIT_FENCED
+        finally:
+            for proc in (writer, taker):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+
+    a_lines = a_journal.read_text().splitlines()
+    b_lines = b_journal.read_text().splitlines()
+
+    # A stopped at the fence: refused terminally, nothing after.
+    assert a_lines[-1] == "FENCED"
+    assert "DONE" not in a_lines
+
+    # B's takeover drew a strictly higher epoch than A ever held.
+    a_epoch = max(int(l.split()[1]) for l in a_lines
+                  if l.startswith("EPOCH "))
+    takeover = [l for l in b_lines if l.startswith("TAKEOVER ")]
+    assert takeover and int(takeover[0].split()[1]) > a_epoch
+    assert "DONE" in b_lines
+
+    # Everything A acknowledged survives the handoff byte-identical.
+    acked_high = max((int(l.split()[1]) for l in a_lines
+                      if l.startswith("ACK ")), default=0)
+    assert acked_high > 0
+    attempts = {int(l.split()[1]): l.split()[2]
+                for l in a_lines if l.startswith("ATTEMPT ")}
+    lsn_of = {int(l.split()[1]): int(l.split()[2])
+              for l in a_lines if l.startswith("LSN ")}
+    finals = {int(l.split()[1]): l.split()[2:]
+              for l in b_lines if l.startswith("FINAL ")}
+    checked = 0
+    for seq, lsn in lsn_of.items():
+        if lsn <= acked_high:
+            assert finals.get(lsn) == ["1", attempts[seq]], (seq, lsn)
+            checked += 1
+    assert checked >= 5
+
+    # And the stream is live for the new owner.
+    assert any(l.startswith("POSTACK ") for l in b_lines)

@@ -44,6 +44,8 @@ from repro.net.messages import (
     AckReply,
     CopyLogCall,
     ErrorReply,
+    FenceLogCall,
+    FenceReply,
     ForceLogMsg,
     GeneratorReadCall,
     GeneratorReadReply,
@@ -110,13 +112,18 @@ def interval_tuples(draw):
 @st.composite
 def messages(draw):
     cid = draw(client_ids)
-    which = draw(st.integers(min_value=0, max_value=19))
+    which = draw(st.integers(min_value=0, max_value=21))
     if which == 14:
         return PingMsg(cid, token=draw(st.integers(0, 2**32 - 1)))
     if which == 15:
         return PongMsg(cid, token=draw(st.integers(0, 2**32 - 1)))
     if which == 16:
-        return TruncateLogCall(cid, low_water_lsn=draw(lsns))
+        return TruncateLogCall(cid, low_water_lsn=draw(lsns),
+                               epoch=draw(st.integers(0, 2**32 - 1)))
+    if which == 20:
+        return FenceLogCall(cid, epoch=draw(epochs))
+    if which == 21:
+        return FenceReply(cid, epoch=draw(st.integers(0, 2**32 - 1)))
     if which == 17:
         return TruncateReply(cid, low_water_lsn=draw(lsns),
                              records_dropped=draw(st.integers(0, 2**32 - 1)))

@@ -178,6 +178,55 @@ def test_filepagestore_drops_torn_final_page(tmp_path):
     reopened.store.close()
 
 
+def test_fence_is_durable_and_monotone(tmp_path):
+    store = FileLogStore(tmp_path, "s1")
+    assert store.fence_epoch("c") == 0
+    assert store.fence_write("c", 5) == 5
+    assert store.fence_write("c", 3) == 5   # lower: refused, standing wins
+    assert store.fence_write("c", 5) == 5   # equal: idempotent
+    assert store.fence_write("c", 9) == 9
+    store.close()
+
+    again = FileLogStore(tmp_path, "s1")
+    assert again.fence_epoch("c") == 9
+    assert again.fence_epoch("other") == 0  # per-stream, not per-server
+    again.close()
+
+
+def test_fence_survives_compaction(tmp_path):
+    store = FileLogStore(tmp_path, "s1")
+    for i in range(1, 9):
+        store.append_record("c", rec(i), fsync=False)
+    store.sync()
+    store.fence_write("c", 4)
+    store.truncate_below("c", 6)  # triggers _compact: fences re-emitted
+    assert store.fence_epoch("c") == 4
+    store.close()
+
+    again = FileLogStore(tmp_path, "s1")
+    assert again.fence_epoch("c") == 4
+    assert again.stored_lsns("c") == [6, 7, 8]
+    again.close()
+
+
+def test_torn_fence_tail_reverts_to_prior_fence(tmp_path):
+    """A fence is installed exactly when its fsync'd entry is intact."""
+    store = FileLogStore(tmp_path, "s1")
+    store.append_record("c", rec(1), fsync=True)
+    store.fence_write("c", 2)
+    intact = (tmp_path / "log.dat").stat().st_size
+    store.fence_write("c", 7)
+    store.close()
+
+    log = tmp_path / "log.dat"
+    log.write_bytes(log.read_bytes()[:intact + 3])  # tear the epoch-7 entry
+
+    again = FileLogStore(tmp_path, "s1")
+    assert again.fence_epoch("c") == 2
+    assert again.stored_lsns("c") == [1]
+    again.close()
+
+
 def test_entry_magic_mismatch_ends_prefix(tmp_path):
     store = FileLogStore(tmp_path, "s1")
     store.append_record("c", rec(1), fsync=True)

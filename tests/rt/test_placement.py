@@ -66,6 +66,33 @@ def test_ring_balance_within_constant_factor(roster):
     assert busiest <= 3 * idlest, per_server
 
 
+@settings(max_examples=10, deadline=None)
+@given(roster=server_rosters)
+def test_weighted_ring_balance_at_two_to_one(roster):
+    """A server declared capacity 2.0 carries ~2x a unit peer's streams."""
+    big = roster[0]
+    ring = HashRing(roster, vnodes=128, capacities={big: 2.0})
+    keys = _keys(250 * len(roster))
+    per_server = {sid: 0 for sid in roster}
+    for key in keys:
+        per_server[ring.successors(key, 1)[0]] += 1
+    assert min(per_server.values()) > 0
+    others = [v for sid, v in per_server.items() if sid != big]
+    ratio = per_server[big] / (sum(others) / len(others))
+    assert 1.3 <= ratio <= 3.0, per_server
+
+
+def test_capacity_weights_scale_vnodes_only():
+    plain = HashRing(["s1", "s2", "s3"], vnodes=64)
+    unweighted = HashRing(["s1", "s2", "s3"], vnodes=64, capacities={})
+    assert plain._hashes == unweighted._hashes  # empty map: same ring
+    ring = HashRing(["s1", "s2", "s3"], vnodes=64, capacities={"s2": 2.0})
+    assert ring.vnode_count("s2") == 128
+    assert ring.vnode_count("s1") == 64
+    with pytest.raises(ConfigurationError):
+        HashRing(["s1"], capacities={"s1": 0.0})
+
+
 # -- minimal movement -------------------------------------------------------
 
 
@@ -212,6 +239,23 @@ def test_cluster_spec_round_trip(tmp_path: Path):
     assert loaded.quotas == spec.quotas
     cfg = loaded.config()
     assert (cfg.total_servers, cfg.copies, cfg.delta) == (2, 2, 16)
+
+
+def test_cluster_spec_round_trips_capacities_and_idle_ttl(tmp_path: Path):
+    spec = ClusterSpec(
+        servers={"s1": ("127.0.0.1", 4001), "s2": ("10.0.0.2", 4002)},
+        copies=2, capacities={"s1": 2.0},
+        quotas={"acme": TenantQuota(max_streams=2, idle_ttl_s=30.0)},
+    )
+    loaded = load_cluster_spec(spec.save(str(tmp_path / "placements.json")))
+    assert loaded.capacities == {"s1": 2.0}
+    assert loaded.quotas["acme"].idle_ttl_s == 30.0
+    # Capacities reshape write sets, so they must be in the digest.
+    weighted = PlacementDirectory(loaded)
+    assert weighted.digest() == PlacementDirectory(spec).digest()
+    plain = PlacementDirectory(ClusterSpec(servers=dict(spec.servers),
+                                           copies=2))
+    assert weighted.digest() != plain.digest()
 
 
 def test_cluster_spec_rejects_bad_shapes(tmp_path: Path):

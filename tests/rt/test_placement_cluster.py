@@ -282,6 +282,47 @@ def test_rate_quota_throttles_then_recovers(tmp_path):
     asyncio.run(main())
 
 
+def test_idle_stream_slot_is_reclaimed_after_ttl(tmp_path):
+    """A tenant at max_streams gets re-admitted once an old stream has
+    idled past ``idle_ttl_s`` — without a daemon restart."""
+    async def main():
+        quotas = {"acme": TenantQuota(max_streams=1, idle_ttl_s=0.5)}
+        async with QuotaCluster(tmp_path, quotas) as cluster:
+            first = AsyncReplicatedLog("acme/a", cluster.addresses(),
+                                       CONFIG, retry_policy=FAST_RETRY)
+            await first.initialize()
+            await first.write(b"claims the slot")
+            await first.force()
+            await first.close()
+
+            # Immediately: the slot is still warm, the new stream is
+            # refused exactly like a sticky quota would refuse it.
+            # Few, fast retries — a long retry schedule would outlive
+            # the TTL and be legitimately admitted mid-backoff.
+            second = AsyncReplicatedLog(
+                "acme/b", cluster.addresses(), CONFIG,
+                retry_policy=RetryPolicy(base_delay_s=0.02,
+                                         cap_delay_s=0.05, max_attempts=2))
+            await second.initialize()
+            await second.write(b"too soon")
+            with pytest.raises(TenantQuotaExceeded):
+                await second.force()
+            await second.close()
+
+            # Past the TTL the idle slot is swept and the same stream
+            # id is admitted.
+            await asyncio.sleep(0.6)
+            third = AsyncReplicatedLog("acme/b", cluster.addresses(),
+                                       CONFIG, retry_policy=FAST_RETRY)
+            await third.initialize()
+            await third.write(b"admitted after ttl")
+            high = await third.force()
+            assert (await third.read(high)).data == b"admitted after ttl"
+            await third.close()
+
+    asyncio.run(main())
+
+
 def test_loadgen_tolerates_permanent_throttle(tmp_path):
     """A stream the quota never admits reports zero transactions and
     its throttles, without failing the whole multi-client run."""
